@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment row from DESIGN.md §3 and
+prints the table the paper-level claim is judged by (run with ``-s`` to
+see them). ``pytest-benchmark`` wraps a single execution so wall-time is
+also recorded without re-running expensive simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Time ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def print_table(title: str, rows: List[Dict[str, object]]) -> None:
+    """Render an experiment table (aligned columns) to stdout."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def attach(benchmark, rows: Sequence[Dict[str, object]], **extra) -> None:
+    """Record experiment rows on the benchmark's extra_info for the JSON report."""
+    benchmark.extra_info["rows"] = list(rows)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

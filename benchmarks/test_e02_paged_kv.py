@@ -1,0 +1,61 @@
+"""E2 — Paged KV cache eliminates reservation waste (vLLM [28]).
+
+Claims under test: (a) reservation wastes 60-80% of claimed KV memory
+while paging wastes <~4%; (b) at equal HBM, paging sustains a larger
+effective batch and therefore lower tail TTFT; (c) smaller blocks waste
+less at slightly more block-table overhead (block-size ablation).
+"""
+
+import copy
+
+from repro.inference import (
+    ContinuousBatchScheduler,
+    PagedAllocator,
+    ReservedAllocator,
+    ServingEngine,
+    poisson_workload,
+    summarize,
+)
+
+from ._util import attach, print_table, run_once
+
+CAPACITY = 120_000
+
+
+def test_e02_paged_kv(benchmark):
+    def experiment():
+        workload = poisson_workload(rate_rps=8, duration_s=40, seed=2)
+        rows = []
+        allocators = [
+            ("reserved", ReservedAllocator(CAPACITY, max_seq_len=9216)),
+            ("paged-128", PagedAllocator(CAPACITY, block_size=128)),
+            ("paged-16", PagedAllocator(CAPACITY, block_size=16)),
+        ]
+        for name, allocator in allocators:
+            requests = copy.deepcopy(workload)
+            ServingEngine(
+                ContinuousBatchScheduler(max_batch=128), allocator=allocator
+            ).run(requests)
+            report = summarize(requests)
+            rows.append(
+                {
+                    "allocator": name,
+                    "mean_waste": allocator.stats.mean_waste_fraction,
+                    "mean_util": allocator.stats.mean_utilization,
+                    "ttft_p99_s": report.ttft_p99,
+                    "throughput_rps": report.throughput_rps,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E2: reserved vs paged KV memory (vLLM)", rows)
+    attach(benchmark, rows)
+    reserved, paged_big, paged_small = rows
+    # vLLM's headline: reservation wastes 60-80%+; paging cuts it to ~<4%.
+    assert reserved["mean_waste"] > 0.6
+    assert paged_small["mean_waste"] < 0.05
+    # Block-size ablation: smaller blocks waste less.
+    assert paged_small["mean_waste"] <= paged_big["mean_waste"]
+    # Same memory, bigger effective batch => better tail latency.
+    assert paged_small["ttft_p99_s"] < reserved["ttft_p99_s"]

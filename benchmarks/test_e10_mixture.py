@@ -1,0 +1,66 @@
+"""E10 — Domain-mixture discovery beats natural/uniform mixing
+(DSIR [64], DOGE [18], Data-Juicer [13]).
+
+Claims under test, targeting a 50/50 news+academic downstream: (a) both
+importance-resampling and gradient-based reweighting discover mixtures
+concentrated on the target domains; (b) training at the discovered
+mixture beats natural and uniform mixtures at equal token budget; (c) the
+oracle mixture (the target's own histogram) bounds what discovery can do.
+"""
+
+from repro.data.synth import CorpusBuilder, CorpusConfig
+from repro.prep import (
+    DSIRMixer,
+    GradientMixer,
+    MixtureEvaluator,
+    empirical_mixture,
+    heuristic_mixture,
+)
+
+from ._util import attach, print_table, run_once
+
+
+def test_e10_mixture(benchmark):
+    def experiment():
+        builder = CorpusBuilder(CorpusConfig(docs_per_domain=90, seed=10))
+        corpus = builder.build()
+        target_weights = {"news": 0.5, "academic": 0.5}
+        target = [
+            d.text for d in builder.eval_set(per_domain=30, domain_weights=target_weights)
+        ]
+        evaluator = MixtureEvaluator(corpus, target, budget=220, seed=10)
+        mixtures = {
+            "natural": empirical_mixture(corpus),
+            "uniform": heuristic_mixture(
+                news=1, wiki=1, code=1, forum=1, academic=1, ads=1
+            ),
+            "dsir": DSIRMixer(seed=10).fit(corpus, target).discovered_mixture(corpus, 220),
+            "doge-like": GradientMixer().discover(corpus, target),
+            "oracle": heuristic_mixture(**target_weights),
+        }
+        rows = []
+        for name, mixture in mixtures.items():
+            result = evaluator.evaluate(mixture)
+            top = sorted(result.mixture.items(), key=lambda kv: -kv[1])[:2]
+            rows.append(
+                {
+                    "mixture": name,
+                    "target_ppl": result.target_perplexity,
+                    "top_domains": ", ".join(f"{d}:{w:.2f}" for d, w in top),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E10: domain-mixture discovery (DSIR / DOGE)", rows)
+    attach(benchmark, rows)
+    by = {r["mixture"]: r for r in rows}
+    # Both discovery methods beat natural and uniform mixing.
+    for method in ("dsir", "doge-like"):
+        assert by[method]["target_ppl"] < by["natural"]["target_ppl"]
+        assert by[method]["target_ppl"] < by["uniform"]["target_ppl"]
+    # Discovered mixtures concentrate on the true target domains.
+    for method in ("dsir", "doge-like"):
+        assert "news" in by[method]["top_domains"] or "academic" in by[method]["top_domains"]
+    # And land within 1.5x of the oracle mixture's perplexity.
+    assert by["dsir"]["target_ppl"] < by["oracle"]["target_ppl"] * 1.5

@@ -1,0 +1,107 @@
+"""E11 — Quality & toxicity filtering: rules vs classifier vs threshold
+(C4/Gopher rules [41, 46], classifiers [10, 62], metric thresholds [39],
+Perspective-style toxicity [30]).
+
+Claims under test: (a) each filter family removes low-quality text with
+measurable precision/recall against injected ground truth; (b) filtering
+improves the downstream proxy; (c) the full pipeline (filters + dedup)
+compounds: best proxy perplexity of all.
+"""
+
+import numpy as np
+
+from repro.data.ngram import NGramLM
+from repro.data.synth import QUALITY_CLEAN, CorpusBuilder, CorpusConfig
+from repro.prep import (
+    PerplexityFilter,
+    QualityClassifier,
+    RuleBasedQualityFilter,
+    ToxicityFilter,
+    filter_metrics,
+    standard_pipeline,
+)
+
+from ._util import attach, print_table, run_once
+
+
+def test_e11_filtering(benchmark):
+    def experiment():
+        builder = CorpusBuilder(CorpusConfig(docs_per_domain=90, seed=11))
+        corpus = builder.build()
+        eval_texts = [d.text for d in builder.eval_set(per_domain=20)]
+        reference = NGramLM(order=2).fit(eval_texts)
+
+        def proxy(docs):
+            return NGramLM(order=2).fit(d.text for d in docs).corpus_perplexity(eval_texts)
+
+        rows = [
+            {
+                "filter": "none",
+                "kept": len(corpus),
+                "precision": "",
+                "recall": "",
+                "proxy_ppl": proxy(corpus),
+            }
+        ]
+        # Rules.
+        kept, _ = RuleBasedQualityFilter().filter(corpus)
+        m = filter_metrics(corpus, kept)
+        rows.append(
+            {"filter": "heuristic-rules", "kept": len(kept), **m, "proxy_ppl": proxy(kept)}
+        )
+        # Metric threshold: cut at the 85th percentile of corpus perplexity.
+        cut = float(np.percentile([reference.perplexity(d.text) for d in corpus], 85))
+        kept, _ = PerplexityFilter(reference, max_perplexity=cut).filter(corpus)
+        m = filter_metrics(corpus, kept)
+        rows.append(
+            {"filter": "ppl-threshold", "kept": len(kept), **m, "proxy_ppl": proxy(kept)}
+        )
+        # Classifier trained on a labelled seed slice.
+        seed_docs = corpus[:250]
+        clf = QualityClassifier(seed=11).fit(
+            seed_docs, [d.quality == QUALITY_CLEAN for d in seed_docs]
+        )
+        kept, _ = clf.filter(corpus)
+        m = filter_metrics(corpus, kept)
+        rows.append(
+            {"filter": "classifier", "kept": len(kept), **m, "proxy_ppl": proxy(kept)}
+        )
+        # Toxicity.
+        kept, _ = ToxicityFilter().filter(corpus)
+        m = filter_metrics(corpus, kept, target="toxic")
+        rows.append(
+            {"filter": "toxicity-lexicon", "kept": len(kept), **m, "proxy_ppl": proxy(kept)}
+        )
+        # Full pipeline.
+        cleaned, _ = standard_pipeline(
+            reference_lm=reference, max_perplexity=cut
+        ).run(corpus)
+        rows.append(
+            {
+                "filter": "full-pipeline",
+                "kept": len(cleaned),
+                "precision": "",
+                "recall": "",
+                "proxy_ppl": proxy(cleaned),
+            }
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E11: quality/toxicity filtering families", rows)
+    attach(benchmark, rows)
+    by = {r["filter"]: r for r in rows}
+    # Precision/recall of each family against injected defects.
+    assert by["heuristic-rules"]["precision"] >= 0.9
+    assert by["heuristic-rules"]["recall"] >= 0.9
+    assert by["classifier"]["precision"] >= 0.8
+    assert by["toxicity-lexicon"]["precision"] == 1.0
+    assert by["toxicity-lexicon"]["recall"] == 1.0
+    # Every quality filter improves the proxy; the pipeline compounds best.
+    for name in ("heuristic-rules", "ppl-threshold", "classifier"):
+        assert by[name]["proxy_ppl"] < by["none"]["proxy_ppl"], name
+    best_single = min(
+        by[name]["proxy_ppl"]
+        for name in ("heuristic-rules", "ppl-threshold", "classifier")
+    )
+    assert by["full-pipeline"]["proxy_ppl"] <= best_single * 1.02

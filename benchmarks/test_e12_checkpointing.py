@@ -1,0 +1,124 @@
+"""E12 — Checkpointing modes and frequency (CheckFreq [38], DataStates-LLM
+[37], Check-N-Run [17]).
+
+Claims under test: (a) async/pipelined checkpointing nearly eliminates the
+training stall sync checkpointing pays; (b) differential and quantized
+modes shrink written bytes severalfold; (c) the Young-Daly interval
+minimizes total overhead across a frequency sweep under failures.
+"""
+
+import numpy as np
+
+from repro.training import (
+    ClusterSpec,
+    ParallelConfig,
+    TrainingRun,
+    get_model_spec,
+    plan_frequency,
+)
+from repro.training.checkpoint import MODES, CheckpointEngine, make_state
+
+from ._util import attach, print_table, run_once
+
+
+def test_e12_checkpoint_modes(benchmark):
+    def experiment():
+        rows = []
+        state = make_state(num_tensors=16, rows=2048, cols=256, seed=12)
+        for mode in MODES:
+            engine = CheckpointEngine(mode=mode, storage_write_bw=2e9)
+            for step in range(1, 6):
+                state["layer0.weight"][0, step] += 1.0
+                engine.save(step, state)
+            _, loaded = engine.load_latest()
+            exact = all(
+                np.array_equal(loaded[k], state[k]) for k in state
+            )
+            rows.append(
+                {
+                    "mode": mode,
+                    "stall_s": engine.stats.total_stall_s,
+                    "mbytes_written": engine.stats.total_bytes / 1e6,
+                    "restore_exact": exact,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E12a: checkpoint engine modes", rows)
+    attach(benchmark, rows)
+    by = {r["mode"]: r for r in rows}
+    assert by["async"]["stall_s"] < by["sync"]["stall_s"] / 3
+    assert by["pipelined"]["stall_s"] <= by["async"]["stall_s"]
+    assert by["differential"]["mbytes_written"] < by["sync"]["mbytes_written"] / 2
+    assert by["quantized"]["mbytes_written"] < by["sync"]["mbytes_written"] / 3
+    # Only quantization is lossy.
+    assert all(r["restore_exact"] for r in rows if r["mode"] != "quantized")
+    assert not by["quantized"]["restore_exact"]
+
+
+def test_e12_frequency_sweep(benchmark):
+    def experiment():
+        spec = get_model_spec("tiny-125m")
+        cluster = ClusterSpec(
+            num_nodes=1, gpus_per_node=8, mtbf_hours=0.004, storage_write_bw=2e8
+        )
+        config = ParallelConfig(strategy="zero2", dp=8)
+        # Measure the actual per-checkpoint stall the engine will charge,
+        # so the Young-Daly plan and the simulation agree on C.
+        probe_engine = CheckpointEngine(mode="sync", storage_write_bw=2e8)
+        probe_engine.save(0, make_state(num_tensors=48))  # the run's state shape
+        checkpoint_cost = probe_engine.records[-1].stall_s
+        probe = TrainingRun(spec, config, cluster, seed=12)
+        plan = plan_frequency(
+            step_time_s=probe.step_time_s,
+            checkpoint_cost_s=checkpoint_cost,
+            mtbf_s=cluster.mtbf_hours * 3600,
+            restart_cost_s=5.0,
+        )
+        candidate_intervals = sorted(
+            {
+                max(plan.steps_between_checkpoints // 8, 1),
+                max(plan.steps_between_checkpoints // 3, 1),
+                plan.steps_between_checkpoints,
+                plan.steps_between_checkpoints * 3,
+                plan.steps_between_checkpoints * 8,
+            }
+        )
+        rows = []
+        for steps in candidate_intervals:
+            engine = CheckpointEngine(mode="sync", storage_write_bw=2e8)
+            run = TrainingRun(
+                spec,
+                config,
+                cluster,
+                checkpoint_engine=engine,
+                checkpoint_every_steps=steps,
+                restart_cost_s=5.0,
+                state_tensors=48,
+                seed=12,
+            )
+            result = run.run(1200)
+            rows.append(
+                {
+                    "ckpt_every_steps": steps,
+                    "young_daly": "* " if steps == plan.steps_between_checkpoints else "",
+                    "goodput": result.goodput,
+                    "restarts": result.restarts,
+                    "stall_s": result.checkpoint_stall_s,
+                    "lost_s": result.lost_time_s,
+                }
+            )
+        return rows, plan.steps_between_checkpoints
+
+    (rows, optimal_steps) = run_once(benchmark, experiment)
+    print_table("E12b: checkpoint-frequency sweep (Young-Daly)", rows)
+    attach(benchmark, rows, young_daly_steps=optimal_steps)
+    by_steps = {r["ckpt_every_steps"]: r for r in rows}
+    best = max(rows, key=lambda r: r["goodput"])
+    optimum = by_steps[optimal_steps]
+    # The Young-Daly interval is at (or within 3% of) the sweep's optimum.
+    assert optimum["goodput"] >= best["goodput"] - 0.03
+    # Extremes lose: too-frequent stalls, too-rare loses work to failures.
+    assert rows[0]["stall_s"] > optimum["stall_s"]
+    assert rows[-1]["lost_s"] >= optimum["lost_s"]

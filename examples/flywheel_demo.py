@@ -1,0 +1,46 @@
+"""The data flywheel: a closed serve -> verify -> train loop (paper §2.4).
+
+Each round, user traffic is served with grounded (RAG) answering, answers
+are verified against the document corpus, and verified interactions are
+distilled into the model's parametric knowledge — so closed-book accuracy
+climbs round over round while verification keeps hallucinations out.
+
+Run:  python examples/flywheel_demo.py
+"""
+
+from repro import DataAI, DataAIConfig
+from repro.flywheel import DataFlywheel
+
+
+def poisoned_fact_count(engine: DataAI) -> int:
+    """How many facts in the model's memory contradict the world?"""
+    wrong = 0
+    for (subject, attribute), value in engine.llm.knowledge.facts.items():
+        truth = engine.world.lookup(subject, attribute)
+        if truth is not None and truth != value:
+            wrong += 1
+    return wrong
+
+
+def run(verify: bool) -> None:
+    engine = DataAI(DataAIConfig(model="sim-small", seed=11))
+    flywheel = DataFlywheel(engine, verify=verify, questions_per_round=80)
+    label = "verified" if verify else "unverified"
+    print(f"\n--- flywheel ({label} training data) ---")
+    print(f"{'round':>5} {'served':>7} {'verified':>9} {'learned':>8} "
+          f"{'blocked':>8} {'heldout':>8} {'poisoned':>9}")
+    for record in flywheel.run(6, heldout=60):
+        print(f"{record.round_index:>5} {record.served:>7} {record.verified:>9} "
+              f"{record.facts_learned:>8} {record.hallucinations_blocked:>8} "
+              f"{record.heldout_accuracy:>8.2f} {poisoned_fact_count(engine):>9}")
+
+
+def main() -> None:
+    run(verify=True)
+    run(verify=False)
+    print("\nVerification keeps wrong facts ('poisoned') out of the model while "
+          "matching the learning rate of the unfiltered loop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a reference implementation of the Data+AI stack (LLM4Data and
+Data4LLM) from the SIGMOD 2025 tutorial by Li, Wang, Zhang and Wang.
+
+Quick start::
+
+    from repro import DataAI
+
+    engine = DataAI()
+    print(engine.ask("Where is Acu Corp headquartered?").text)
+    print(engine.analytics("count companies where industry == biotech"))
+
+Subpackages
+-----------
+``repro.llm``          simulated-LLM substrate (tokenizer, embeddings, hub)
+``repro.vector``       vector indexes + vector database
+``repro.rag``          retrieval-augmented generation
+``repro.prompting``    templates, few-shot selection, compression
+``repro.agents``       tool-calling agents with self-reflection
+``repro.unstructured`` semantic operators, schema extraction, analytics
+``repro.datalake``     multi-modal lake: linking, planning, execution, NL2SQL
+``repro.prep``         Data4LLM preparation: discovery/selection/cleaning/...
+``repro.training``     distributed-training simulation + checkpointing
+``repro.inference``    serving simulation: batching, paged KV, disaggregation
+``repro.flywheel``     the closed data flywheel loop
+"""
+
+from .core import DataAI, DataAIConfig
+from .data import World, WorldConfig
+from .llm import SimLLM, make_llm
+
+__version__ = "1.0.0"
+
+__all__ = ["DataAI", "DataAIConfig", "World", "WorldConfig", "SimLLM", "make_llm", "__version__"]

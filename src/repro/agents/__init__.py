@@ -1,0 +1,6 @@
+"""Agents: tool calling, multi-step reasoning, self-reflection (§2.2.1)."""
+
+from .agent import Agent, AgentStep, AgentTrace
+from .tools import Tool, ToolCall, ToolRegistry
+
+__all__ = ["Agent", "AgentStep", "AgentTrace", "Tool", "ToolCall", "ToolRegistry"]

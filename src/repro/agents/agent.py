@@ -1,0 +1,123 @@
+"""ReAct-style agent: decompose, act with tools, observe, reflect.
+
+Implements the agent loop the tutorial describes (§2.2.1): "understanding
+the environment, tool invocation, breaking down tasks into multiple steps,
+reasoning through these steps, and self-reflection."
+
+The loop per goal:
+
+1. **Decompose** — ask the model to break the goal into single-hop steps
+   (falls back to one step).
+2. **Act** — for each step, route to the best-matching tool (semantic
+   routing over tool descriptions), substitute earlier answers into
+   ``{answer<i>}`` slots, invoke, observe.
+3. **Reflect** — if a step's observation is empty/failed, retry with the
+   next-best tool (one retry per step); a goal whose final answer is
+   unsupported is reported as abstention rather than a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from .tools import ToolCall, ToolRegistry
+
+ABSTAIN = "unknown"
+
+
+@dataclass
+class AgentStep:
+    """One executed plan step."""
+
+    step_text: str
+    resolved_text: str
+    call: ToolCall
+    retried: bool = False
+
+
+@dataclass
+class AgentTrace:
+    """Full execution trace of one goal."""
+
+    goal: str
+    steps: List[AgentStep] = field(default_factory=list)
+    answer: str = ABSTAIN
+    reflections: int = 0
+
+    @property
+    def abstained(self) -> bool:
+        return self.answer.strip().lower() == ABSTAIN
+
+
+class Agent:
+    """A tool-using, self-reflecting task agent."""
+
+    def __init__(
+        self,
+        llm: SimLLM,
+        tools: ToolRegistry,
+        *,
+        max_steps: int = 4,
+        reflect: bool = True,
+    ) -> None:
+        self.llm = llm
+        self.tools = tools
+        self.max_steps = max_steps
+        self.reflect = reflect
+
+    # ------------------------------------------------------------- planning
+    def decompose(self, goal: str) -> List[str]:
+        """LLM decomposition of a goal into single-hop steps."""
+        response = self.llm.generate(
+            Prompt(task="decompose", input=goal).render(), tag="agent-plan"
+        )
+        steps = [line.strip() for line in response.text.splitlines() if line.strip()]
+        if not steps:
+            steps = [goal]
+        return steps[: self.max_steps]
+
+    # ------------------------------------------------------------ execution
+    def run(self, goal: str) -> AgentTrace:
+        """Execute the goal end to end; never raises on tool failure."""
+        trace = AgentTrace(goal=goal)
+        steps = self.decompose(goal)
+        answers: List[str] = []
+        for step_text in steps:
+            resolved = self._substitute(step_text, answers)
+            step = self._execute_step(step_text, resolved, trace)
+            trace.steps.append(step)
+            answers.append(step.call.observation if step.call.ok else ABSTAIN)
+            if answers[-1].strip().lower() == ABSTAIN:
+                break
+        trace.answer = answers[-1] if answers else ABSTAIN
+        return trace
+
+    def _substitute(self, step_text: str, answers: List[str]) -> str:
+        resolved = step_text
+        for i, answer in enumerate(answers, start=1):
+            resolved = resolved.replace(f"{{answer{i}}}", answer)
+        return resolved
+
+    def _execute_step(
+        self, step_text: str, resolved: str, trace: AgentTrace
+    ) -> AgentStep:
+        candidates = self.tools.route(resolved, k=2 if self.reflect else 1)
+        call = self.tools.invoke(candidates[0].name, resolved)
+        retried = False
+        if self.reflect and self._needs_retry(call) and len(candidates) > 1:
+            trace.reflections += 1
+            retry_call = self.tools.invoke(candidates[1].name, resolved)
+            if not self._needs_retry(retry_call):
+                call = retry_call
+                retried = True
+        return AgentStep(
+            step_text=step_text, resolved_text=resolved, call=call, retried=retried
+        )
+
+    @staticmethod
+    def _needs_retry(call: ToolCall) -> bool:
+        text = call.observation.strip().lower()
+        return (not call.ok) or (not text) or text == ABSTAIN

@@ -1,0 +1,105 @@
+"""Tool abstraction and registry for agents (Figure 1 "Tool Calling").
+
+A tool is a named, described callable from string arguments to a string
+observation. The registry supports semantic routing — choosing the tool
+whose description best matches a step — which is how our agent grounds the
+paper's "tool invocation" challenge without a function-calling API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+
+ToolFn = Callable[[str], str]
+
+
+@dataclass
+class Tool:
+    """One callable tool."""
+
+    name: str
+    description: str
+    fn: ToolFn
+
+    def __call__(self, argument: str) -> str:
+        return self.fn(argument)
+
+
+@dataclass
+class ToolCall:
+    """A record of one tool invocation."""
+
+    tool: str
+    argument: str
+    observation: str
+    ok: bool = True
+
+
+class ToolRegistry:
+    """Named tool collection with embedding-based routing."""
+
+    def __init__(self, embedder: Optional[EmbeddingModel] = None) -> None:
+        self._tools: Dict[str, Tool] = {}
+        self.embedder = embedder
+        self._desc_matrix: Optional[np.ndarray] = None
+        self._order: List[str] = []
+
+    def register(self, tool: Tool, *, overwrite: bool = False) -> None:
+        if tool.name in self._tools and not overwrite:
+            raise ConfigError(f"tool {tool.name!r} already registered")
+        self._tools[tool.name] = tool
+        self._desc_matrix = None  # invalidate routing cache
+
+    def register_fn(self, name: str, description: str, fn: ToolFn) -> None:
+        self.register(Tool(name=name, description=description, fn=fn))
+
+    def get(self, name: str) -> Tool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown tool {name!r}; available: {sorted(self._tools)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._tools)
+
+    def __len__(self) -> int:
+        return len(self._tools)
+
+    # --------------------------------------------------------------- routing
+    def route(self, step: str, *, k: int = 1) -> List[Tool]:
+        """The ``k`` tools whose descriptions best match ``step``."""
+        if not self._tools:
+            raise ConfigError("no tools registered")
+        if self.embedder is None:
+            raise ConfigError("routing requires an embedder")
+        if self._desc_matrix is None:
+            self._order = sorted(self._tools)
+            self._desc_matrix = self.embedder.embed_batch(
+                [self._tools[n].description for n in self._order]
+            )
+        qvec = self.embedder.embed(step)
+        scores = self._desc_matrix @ qvec
+        order = np.argsort(-scores)[: max(k, 1)]
+        return [self._tools[self._order[int(i)]] for i in order]
+
+    def invoke(self, name: str, argument: str) -> ToolCall:
+        """Call a tool, capturing failures as observations instead of raising."""
+        tool = self.get(name)
+        try:
+            observation = tool(argument)
+            return ToolCall(tool=name, argument=argument, observation=observation)
+        except Exception as exc:  # noqa: BLE001 - agent must survive tool errors
+            return ToolCall(
+                tool=name,
+                argument=argument,
+                observation=f"error: {exc}",
+                ok=False,
+            )

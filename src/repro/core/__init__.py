@@ -1,0 +1,5 @@
+"""The unified Data+AI engine (Figure 1 as code)."""
+
+from .engine import DEFAULT_DOC_ATTRIBUTES, DataAI, DataAIConfig
+
+__all__ = ["DEFAULT_DOC_ATTRIBUTES", "DataAI", "DataAIConfig"]

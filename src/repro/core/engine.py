@@ -1,0 +1,161 @@
+"""The Data+AI engine: Figure 1 wired together as one object.
+
+:class:`DataAI` instantiates both directions of the paper's architecture
+over a single world:
+
+* **LLM4Data** — a simulated LLM + vector database + RAG pipeline +
+  semantic operators + document analytics + data-lake analytics + agent,
+  all sharing one model and one embedder;
+* **Data4LLM** — the data-preparation pipeline, the training simulator,
+  and the serving simulator, reachable as factories so applications can
+  spin up experiments against the same configuration.
+
+This is deliberately a *facade*: every subsystem remains usable on its
+own, and the engine only wires defaults. See ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..agents.agent import Agent
+from ..agents.tools import ToolRegistry
+from ..data.documents import Document, DocumentRenderer
+from ..data.world import QAGenerator, World, WorldConfig
+from ..datalake.catalog import DataLake
+from ..datalake.executor import LakeAnalytics
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..llm.hub import ModelHub, default_hub
+from ..llm.model import SimLLM
+from ..rag.pipeline import RAGAnswer, RAGPipeline
+from ..unstructured.operators import SemanticOperators
+from ..unstructured.query import DocumentAnalytics
+from ..vector.database import VectorDatabase
+
+DEFAULT_DOC_ATTRIBUTES: Dict[str, List[str]] = {
+    "person": ["employer", "role", "age", "residence"],
+    "company": ["headquarters", "industry", "founded", "ceo", "revenue_musd"],
+    "product": ["maker", "category", "price_usd", "released"],
+    "city": ["country", "population"],
+}
+
+
+@dataclass
+class DataAIConfig:
+    """Engine-level configuration."""
+
+    model: str = "sim-base"
+    seed: int = 0
+    world: WorldConfig = field(default_factory=WorldConfig)
+    chunk_strategy: str = "sentence"
+    rerank: Optional[str] = None
+    context_chunks: int = 4
+
+
+class DataAI:
+    """One engine exposing the whole Figure 1 stack over a shared world."""
+
+    def __init__(self, config: Optional[DataAIConfig] = None) -> None:
+        self.config = config or DataAIConfig()
+        self.hub: ModelHub = default_hub()
+        self.world = World(self.config.world)
+        self.llm = SimLLM(
+            self.hub.get(self.config.model),
+            world=self.world,
+            seed=self.config.seed,
+        )
+        self.embedder: EmbeddingModel = self.llm.embedder
+        self.qa = QAGenerator(self.world, seed=self.config.seed + 1)
+        self._documents: Optional[List[Document]] = None
+        self._rag: Optional[RAGPipeline] = None
+        self._vector_db: Optional[VectorDatabase] = None
+        self._lake: Optional[DataLake] = None
+        self._lake_analytics: Optional[LakeAnalytics] = None
+        self._doc_analytics: Optional[DocumentAnalytics] = None
+
+    # ---------------------------------------------------------- components
+    @property
+    def documents(self) -> List[Document]:
+        """The unstructured rendering of the world (lazily built)."""
+        if self._documents is None:
+            self._documents = DocumentRenderer(
+                self.world, seed=self.config.seed + 2
+            ).render_corpus()
+        return self._documents
+
+    @property
+    def rag(self) -> RAGPipeline:
+        if self._rag is None:
+            self._rag = RAGPipeline.from_documents(
+                self.llm,
+                self.documents,
+                chunk_strategy=self.config.chunk_strategy,
+                rerank=self.config.rerank,
+                context_chunks=self.config.context_chunks,
+            )
+        return self._rag
+
+    @property
+    def vector_db(self) -> VectorDatabase:
+        if self._vector_db is None:
+            self._vector_db = VectorDatabase(embedder=self.embedder)
+        return self._vector_db
+
+    @property
+    def lake(self) -> DataLake:
+        if self._lake is None:
+            self._lake = DataLake.from_world(self.world, seed=self.config.seed + 3)
+        return self._lake
+
+    @property
+    def lake_analytics(self) -> LakeAnalytics:
+        if self._lake_analytics is None:
+            self._lake_analytics = LakeAnalytics(
+                self.lake, self.llm, doc_attributes=DEFAULT_DOC_ATTRIBUTES
+            )
+        return self._lake_analytics
+
+    @property
+    def document_analytics(self) -> DocumentAnalytics:
+        if self._doc_analytics is None:
+            self._doc_analytics = DocumentAnalytics(
+                self.llm,
+                self.documents,
+                schema=DEFAULT_DOC_ATTRIBUTES,
+                rag=self.rag,
+            )
+        return self._doc_analytics
+
+    @property
+    def operators(self) -> SemanticOperators:
+        return SemanticOperators(self.llm)
+
+    def build_agent(self, *, max_steps: int = 4, reflect: bool = True) -> Agent:
+        """A tool-using agent with document search and lake analytics tools."""
+        tools = ToolRegistry(embedder=self.embedder)
+        tools.register_fn(
+            "search_docs",
+            "look up facts about a person company product city in documents",
+            lambda q: self.rag.answer(q).text,
+        )
+        tools.register_fn(
+            "lake_analytics",
+            "count average sum aggregate analytics over tables and collections",
+            lambda q: self.lake_analytics.ask(q).answer,
+        )
+        return Agent(self.llm, tools, max_steps=max_steps, reflect=reflect)
+
+    # -------------------------------------------------------------- actions
+    def ask(self, question: str) -> RAGAnswer:
+        """Answer a natural-language question with RAG over the world corpus."""
+        return self.rag.answer(question)
+
+    def analytics(self, question: str) -> str:
+        """Answer an analytics question over the multi-modal lake."""
+        return self.lake_analytics.ask(question).answer
+
+    def usage(self):
+        """Total LLM usage across every component (shared ledger)."""
+        return self.llm.usage

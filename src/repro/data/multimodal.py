@@ -1,0 +1,145 @@
+"""Simulated visual modality (Figure 1 "Multi-modal Data: Images Videos").
+
+Real image understanding is out of reach offline, so images are simulated
+at the representation level real multi-modal planners (CAESURA's VisualQA
+tool [53]) actually consume: a **feature vector** whose geometry encodes
+the depicted category, plus an optional **caption** carrying other facts.
+
+* :class:`SimImage` — one image: features = its category's prototype
+  direction + seeded noise, caption = a fact sentence (or empty);
+* :class:`ImageRenderer` — renders one product photo per product; the
+  *category* is visible (encoded in pixels/features) while the *maker*
+  appears only in the caption — so answering "what kind of product is X"
+  needs vision, and "who makes X" needs the caption;
+* :class:`VisualQAModel` — the VisualQA tool: nearest-prototype category
+  classification over features (accuracy controlled by the noise level)
+  plus caption reading for non-visual attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import derive_rng, stable_hash
+from .documents import FACT_TEMPLATES, extract_stated_facts
+from .world import World
+
+FEATURE_DIM = 48
+
+
+def category_prototype(category: str, *, dim: int = FEATURE_DIM) -> np.ndarray:
+    """The deterministic unit direction 'photos of this category' cluster on."""
+    rng = np.random.default_rng(stable_hash(f"imgproto:{category}"))
+    vec = rng.standard_normal(dim)
+    return vec / np.linalg.norm(vec)
+
+
+@dataclass
+class SimImage:
+    """One simulated image."""
+
+    image_id: str
+    subject: str
+    features: np.ndarray
+    caption: str = ""
+    meta: Dict[str, str] = field(default_factory=dict)
+
+
+class ImageRenderer:
+    """Render product photos: category in the pixels, maker in the caption."""
+
+    def __init__(
+        self, world: World, *, noise: float = 0.35, caption_rate: float = 0.8,
+        seed: int = 0
+    ) -> None:
+        if noise < 0:
+            raise ConfigError("noise must be non-negative")
+        self.world = world
+        self.noise = noise
+        self.caption_rate = caption_rate
+        self.seed = seed
+
+    def render_product_images(self) -> List[SimImage]:
+        images = []
+        rng = derive_rng(self.seed, "images")
+        templates = FACT_TEMPLATES[("product", "maker")]
+        for product in self.world.products:
+            category = product.attributes["category"]
+            features = category_prototype(category) + self.noise * rng.standard_normal(
+                FEATURE_DIM
+            )
+            features = features / np.linalg.norm(features)
+            caption = ""
+            if rng.random() < self.caption_rate:
+                template = templates[int(rng.integers(0, len(templates)))]
+                caption = template.format(s=product.name, v=product.attributes["maker"])
+            images.append(
+                SimImage(
+                    image_id=f"img-{product.uid}",
+                    subject=product.name,
+                    features=features,
+                    caption=caption,
+                    meta={"etype": "product"},
+                )
+            )
+        return images
+
+
+class VisualQAModel:
+    """CAESURA's VisualQA tool: classify what is depicted; read the caption.
+
+    Category recognition is a nearest-prototype classifier over the known
+    category label set (the "open-vocabulary classifier given candidate
+    labels" setting); non-visual attributes fall back to caption reading.
+    """
+
+    def __init__(self, categories: Sequence[str]) -> None:
+        if not categories:
+            raise ConfigError("VisualQAModel needs candidate categories")
+        self.categories = sorted(set(categories))
+        self._prototypes = np.stack(
+            [category_prototype(c) for c in self.categories]
+        )
+
+    def classify(self, image: SimImage) -> str:
+        """The depicted category (nearest prototype)."""
+        scores = self._prototypes @ image.features
+        return self.categories[int(np.argmax(scores))]
+
+    def answer(self, image: SimImage, attribute: str) -> Optional[str]:
+        """Answer an attribute question about one image (None = unknown)."""
+        if attribute == "category":
+            return self.classify(image)
+        for fact in extract_stated_facts(image.caption):
+            if fact.attribute == attribute and fact.subject == image.subject:
+                return fact.value
+        return None
+
+    def extract_rows(
+        self, images: Sequence[SimImage], attributes: Sequence[str]
+    ) -> List[Dict[str, Optional[str]]]:
+        """Materialize a structured view of an image collection."""
+        rows = []
+        for image in images:
+            row: Dict[str, Optional[str]] = {"name": image.subject}
+            for attribute in attributes:
+                row[attribute] = self.answer(image, attribute)
+            rows.append(row)
+        return rows
+
+
+def classification_accuracy(
+    model: VisualQAModel, images: Sequence[SimImage], world: World
+) -> float:
+    """Fraction of images whose depicted category is recognized correctly."""
+    if not images:
+        return 0.0
+    correct = 0
+    for image in images:
+        truth = world.lookup(image.subject, "category")
+        correct += model.classify(image) == truth
+    return correct / len(images)

@@ -1,0 +1,135 @@
+"""Interpolated word n-gram language model with add-k smoothing.
+
+Used in two places:
+
+* as the *scoring head* of the simulated LLM (``SimLLM.score`` /
+  ``perplexity``), so perplexity-based data selection (paper §2.3.2, [14])
+  behaves like it does with a real model — fluent in-domain text scores low,
+  garbage and out-of-domain text scores high; and
+* as the *downstream quality proxy* for the Data4LLM experiments: we train
+  it on a candidate corpus and evaluate held-out perplexity, so the effects
+  of dedup, filtering, selection and domain mixing are actually measurable
+  instead of asserted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..llm.tokenizer import Tokenizer, default_tokenizer
+
+_BOS = "<s>"
+_UNK = "<unk>"
+
+
+@dataclass
+class NGramLM:
+    """Interpolated unigram/bigram/trigram model.
+
+    Parameters
+    ----------
+    order:
+        Highest n-gram order (1-3).
+    add_k:
+        Additive smoothing constant.
+    interpolation:
+        Weights for orders 1..order; normalized internally.
+    """
+
+    order: int = 2
+    add_k: float = 0.1
+    interpolation: Sequence[float] = (0.3, 0.7)
+    tokenizer: Tokenizer = field(default_factory=default_tokenizer)
+    _counts: List[Counter] = field(default_factory=list, repr=False)
+    _context_counts: List[Counter] = field(default_factory=list, repr=False)
+    _vocab: set = field(default_factory=set, repr=False)
+    _total_tokens: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.order <= 3:
+            raise ConfigError(f"order must be 1..3, got {self.order}")
+        if len(self.interpolation) != self.order:
+            raise ConfigError("interpolation weights must match order")
+        total = sum(self.interpolation)
+        if total <= 0:
+            raise ConfigError("interpolation weights must sum to > 0")
+        self.interpolation = [w / total for w in self.interpolation]
+        self._counts = [Counter() for _ in range(self.order)]
+        self._context_counts = [Counter() for _ in range(self.order)]
+
+    # ------------------------------------------------------------- training
+    def _tokens(self, text: str) -> List[str]:
+        return [_BOS] * (self.order - 1) + self.tokenizer.content_tokens(text)
+
+    def fit(self, corpus: Iterable[str]) -> "NGramLM":
+        """Accumulate counts from ``corpus`` (may be called repeatedly)."""
+        for text in corpus:
+            tokens = self._tokens(text)
+            self._vocab.update(t for t in tokens if t != _BOS)
+            self._total_tokens += len(tokens) - (self.order - 1)
+            for n in range(1, self.order + 1):
+                for i in range(self.order - 1, len(tokens)):
+                    if i - n + 1 < 0:
+                        continue
+                    gram = tuple(tokens[i - n + 1 : i + 1])
+                    self._counts[n - 1][gram] += 1
+                    self._context_counts[n - 1][gram[:-1]] += 1
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        return max(len(self._vocab), 1)
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total_tokens
+
+    # -------------------------------------------------------------- scoring
+    def _order_prob(self, n: int, gram: Tuple[str, ...]) -> float:
+        count = self._counts[n - 1][gram]
+        context = self._context_counts[n - 1][gram[:-1]]
+        v = self.vocab_size + 1  # +1 for <unk>
+        return (count + self.add_k) / (context + self.add_k * v)
+
+    def token_logprob(self, context: Sequence[str], token: str) -> float:
+        """Interpolated log2 probability of ``token`` given ``context``."""
+        prob = 0.0
+        for n in range(1, self.order + 1):
+            ctx = tuple(context[-(n - 1) :]) if n > 1 else ()
+            prob += self.interpolation[n - 1] * self._order_prob(n, ctx + (token,))
+        return math.log2(max(prob, 1e-12))
+
+    def logprob(self, text: str) -> float:
+        """Total log2 probability of ``text``."""
+        tokens = self._tokens(text)
+        total = 0.0
+        for i in range(self.order - 1, len(tokens)):
+            total += self.token_logprob(tokens[max(0, i - self.order + 1) : i], tokens[i])
+        return total
+
+    def perplexity(self, text: str) -> float:
+        """Per-token perplexity of ``text`` (lower = more fluent/in-domain)."""
+        tokens = self._tokens(text)
+        count = len(tokens) - (self.order - 1)
+        if count <= 0:
+            return float("inf")
+        return 2.0 ** (-self.logprob(text) / count)
+
+    def corpus_perplexity(self, corpus: Sequence[str]) -> float:
+        """Token-weighted perplexity over a corpus (the proxy metric)."""
+        total_lp = 0.0
+        total_tokens = 0
+        for text in corpus:
+            tokens = self._tokens(text)
+            count = len(tokens) - (self.order - 1)
+            if count <= 0:
+                continue
+            total_lp += self.logprob(text)
+            total_tokens += count
+        if total_tokens == 0:
+            return float("inf")
+        return 2.0 ** (-total_lp / total_tokens)

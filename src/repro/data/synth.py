@@ -1,0 +1,287 @@
+"""Synthetic multi-domain training corpus with labelled defects.
+
+The Data4LLM experiments (dedup, filtering, selection, mixing) need a
+corpus whose defects are *known*, so precision/recall of each cleaning
+technique and the downstream effect on a trainable proxy are measurable.
+
+:class:`CorpusBuilder` generates documents across six lexically distinct
+domains, and injects, with ground-truth labels:
+
+* **low-quality text** — gibberish (random character strings), boilerplate
+  (navigation/footer spam), and degenerate repetition;
+* **toxic text** — documents carrying terms from a marker lexicon;
+* **duplicates** — exact copies and near-duplicates (token-level edits of a
+  source doc), grouped by ``dup_group``.
+
+Every document records its provenance in :class:`TrainingDocument`, which
+downstream code must *not* peek at except to score itself.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..utils import derive_rng
+
+DOMAINS = ("news", "wiki", "code", "forum", "academic", "ads")
+
+# Domain-specific vocabulary pools: shared grammar, disjoint-ish lexicons,
+# so an n-gram model trained on one mixture measurably prefers it.
+_DOMAIN_NOUNS: Dict[str, List[str]] = {
+    "news": ["minister", "election", "economy", "parliament", "budget", "treaty",
+             "summit", "inflation", "senate", "tariff", "coalition", "referendum"],
+    "wiki": ["species", "river", "dynasty", "architecture", "philosopher", "theorem",
+             "continent", "mineral", "constellation", "empire", "manuscript", "basilica"],
+    "code": ["function", "variable", "compiler", "iterator", "pointer", "thread",
+             "buffer", "closure", "recursion", "segfault", "mutex", "bytecode"],
+    "forum": ["thread", "upvote", "moderator", "newbie", "flamewar", "lurker",
+              "repost", "karma", "subforum", "troll", "sticky", "necropost"],
+    "academic": ["hypothesis", "baseline", "ablation", "corpus", "gradient", "convergence",
+                 "regularizer", "benchmark", "citation", "reviewer", "preprint", "appendix"],
+    "ads": ["discount", "bundle", "shipping", "voucher", "clearance", "warranty",
+            "checkout", "upsell", "loyalty", "coupon", "flashsale", "freebie"],
+}
+_DOMAIN_VERBS: Dict[str, List[str]] = {
+    "news": ["announced", "debated", "approved", "vetoed", "negotiated", "condemned"],
+    "wiki": ["originated", "flourished", "documented", "classified", "excavated", "restored"],
+    "code": ["compiles", "allocates", "deadlocks", "refactors", "serializes", "benchmarks"],
+    "forum": ["posted", "flagged", "bumped", "quoted", "derailed", "archived"],
+    "academic": ["evaluated", "outperformed", "converged", "generalized", "reported", "replicated"],
+    "ads": ["save", "order", "unlock", "redeem", "subscribe", "upgrade"],
+}
+_SHARED_FILL = ["the", "a", "this", "that", "every", "another"]
+_CONNECTIVES = ["meanwhile", "however", "therefore", "notably", "in practice", "by contrast"]
+
+TOXIC_MARKERS = ["blasterhate", "cursefield", "venomtalk", "slurstorm", "ragebile"]
+
+_BOILERPLATE_LINES = [
+    "click here to subscribe to our newsletter",
+    "copyright all rights reserved terms of service privacy policy",
+    "home about contact sitemap login register",
+    "accept cookies to continue browsing this site",
+]
+
+QUALITY_CLEAN = "clean"
+QUALITY_GIBBERISH = "gibberish"
+QUALITY_BOILERPLATE = "boilerplate"
+QUALITY_REPEATED = "repeated"
+
+
+@dataclass
+class TrainingDocument:
+    """One corpus document with ground-truth provenance labels."""
+
+    doc_id: str
+    text: str
+    domain: str
+    quality: str = QUALITY_CLEAN
+    is_toxic: bool = False
+    dup_group: Optional[int] = None
+    is_duplicate: bool = False  # True for copies; the source doc keeps False
+
+    @property
+    def is_clean(self) -> bool:
+        return self.quality == QUALITY_CLEAN and not self.is_toxic
+
+
+@dataclass
+class CorpusConfig:
+    """Sizing and defect-rate knobs."""
+
+    docs_per_domain: int = 100
+    sentences_per_doc: int = 8
+    gibberish_fraction: float = 0.06
+    boilerplate_fraction: float = 0.06
+    repeated_fraction: float = 0.04
+    toxic_fraction: float = 0.05
+    exact_dup_fraction: float = 0.12
+    near_dup_fraction: float = 0.08
+    seed: int = 29
+
+    def validate(self) -> None:
+        total_defects = (
+            self.gibberish_fraction
+            + self.boilerplate_fraction
+            + self.repeated_fraction
+        )
+        if total_defects >= 1.0:
+            raise ConfigError("defect fractions must sum to < 1")
+        for name in (
+            "gibberish_fraction",
+            "boilerplate_fraction",
+            "repeated_fraction",
+            "toxic_fraction",
+            "exact_dup_fraction",
+            "near_dup_fraction",
+        ):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigError(f"{name} out of [0, 1]")
+        if self.docs_per_domain < 1 or self.sentences_per_doc < 1:
+            raise ConfigError("corpus sizes must be positive")
+
+
+class CorpusBuilder:
+    """Seeded generator of labelled multi-domain corpora."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusConfig()
+        self.config.validate()
+
+    # ------------------------------------------------------------ sentences
+    def _clean_sentence(self, domain: str, rng) -> str:
+        nouns = _DOMAIN_NOUNS[domain]
+        verbs = _DOMAIN_VERBS[domain]
+        pattern = int(rng.integers(0, 3))
+        n1 = nouns[int(rng.integers(0, len(nouns)))]
+        n2 = nouns[int(rng.integers(0, len(nouns)))]
+        v = verbs[int(rng.integers(0, len(verbs)))]
+        fill = _SHARED_FILL[int(rng.integers(0, len(_SHARED_FILL)))]
+        conn = _CONNECTIVES[int(rng.integers(0, len(_CONNECTIVES)))]
+        if pattern == 0:
+            return f"{fill} {n1} {v} {fill} {n2}."
+        if pattern == 1:
+            return f"{conn}, {fill} {n1} {v}."
+        return f"{fill} {n2} and {fill} {n1} {v}."
+
+    def _gibberish_sentence(self, rng) -> str:
+        letters = string.ascii_lowercase + "0123456789"
+        words = []
+        for _ in range(int(rng.integers(5, 12))):
+            length = int(rng.integers(4, 14))
+            words.append("".join(letters[int(rng.integers(0, len(letters)))] for _ in range(length)))
+        return " ".join(words) + "."
+
+    # ------------------------------------------------------------ documents
+    def _clean_doc(self, domain: str, rng) -> str:
+        return " ".join(
+            self._clean_sentence(domain, rng) for _ in range(self.config.sentences_per_doc)
+        )
+
+    def _near_dup(self, text: str, rng) -> str:
+        """Perturb ~10% of words (substitution) — a classic near-duplicate."""
+        words = text.split()
+        n_edits = max(1, len(words) // 10)
+        for _ in range(n_edits):
+            pos = int(rng.integers(0, len(words)))
+            words[pos] = "edit" + str(int(rng.integers(0, 100)))
+        return " ".join(words)
+
+    def build(
+        self, *, domain_weights: Optional[Dict[str, float]] = None
+    ) -> List[TrainingDocument]:
+        """Generate the labelled corpus.
+
+        ``domain_weights`` scales per-domain document counts (default
+        uniform). Defects and duplicates are injected per domain at the
+        configured rates; duplicate groups always stay within one domain.
+        """
+        cfg = self.config
+        rng = derive_rng(cfg.seed, "corpus")
+        docs: List[TrainingDocument] = []
+        dup_group_counter = 0
+        weights = domain_weights or {d: 1.0 for d in DOMAINS}
+        for domain in DOMAINS:
+            weight = weights.get(domain, 0.0)
+            count = int(round(cfg.docs_per_domain * weight))
+            base_docs: List[TrainingDocument] = []
+            for i in range(count):
+                roll = rng.random()
+                doc_id = f"{domain}-{i:04d}"
+                if roll < cfg.gibberish_fraction:
+                    text = " ".join(
+                        self._gibberish_sentence(rng)
+                        for _ in range(cfg.sentences_per_doc)
+                    )
+                    quality = QUALITY_GIBBERISH
+                elif roll < cfg.gibberish_fraction + cfg.boilerplate_fraction:
+                    line = _BOILERPLATE_LINES[int(rng.integers(0, len(_BOILERPLATE_LINES)))]
+                    text = ". ".join([line] * cfg.sentences_per_doc) + "."
+                    quality = QUALITY_BOILERPLATE
+                elif roll < (
+                    cfg.gibberish_fraction
+                    + cfg.boilerplate_fraction
+                    + cfg.repeated_fraction
+                ):
+                    sentence = self._clean_sentence(domain, rng)
+                    text = " ".join([sentence] * cfg.sentences_per_doc)
+                    quality = QUALITY_REPEATED
+                else:
+                    text = self._clean_doc(domain, rng)
+                    quality = QUALITY_CLEAN
+                is_toxic = rng.random() < cfg.toxic_fraction
+                if is_toxic:
+                    marker = TOXIC_MARKERS[int(rng.integers(0, len(TOXIC_MARKERS)))]
+                    words = text.split()
+                    pos = int(rng.integers(0, max(len(words), 1)))
+                    words.insert(pos, marker)
+                    text = " ".join(words)
+                base_docs.append(
+                    TrainingDocument(
+                        doc_id=doc_id, text=text, domain=domain,
+                        quality=quality, is_toxic=is_toxic,
+                    )
+                )
+            # Duplicates of clean docs within the domain.
+            clean_pool = [d for d in base_docs if d.quality == QUALITY_CLEAN]
+            n_exact = int(round(len(base_docs) * cfg.exact_dup_fraction))
+            n_near = int(round(len(base_docs) * cfg.near_dup_fraction))
+            extras: List[TrainingDocument] = []
+            for j in range(n_exact + n_near):
+                if not clean_pool:
+                    break
+                source = clean_pool[int(rng.integers(0, len(clean_pool)))]
+                if source.dup_group is None:
+                    dup_group_counter += 1
+                    source.dup_group = dup_group_counter
+                near = j >= n_exact
+                text = self._near_dup(source.text, rng) if near else source.text
+                extras.append(
+                    TrainingDocument(
+                        doc_id=f"{domain}-dup-{j:04d}",
+                        text=text,
+                        domain=domain,
+                        quality=source.quality,
+                        is_toxic=source.is_toxic,
+                        dup_group=source.dup_group,
+                        is_duplicate=True,
+                    )
+                )
+            docs.extend(base_docs)
+            docs.extend(extras)
+        return docs
+
+    def eval_set(
+        self, *, per_domain: int = 30, domain_weights: Optional[Dict[str, float]] = None
+    ) -> List[TrainingDocument]:
+        """Held-out clean documents (the proxy model's test distribution)."""
+        rng = derive_rng(self.config.seed, "corpus-eval")
+        weights = domain_weights or {d: 1.0 for d in DOMAINS}
+        docs = []
+        for domain in DOMAINS:
+            count = int(round(per_domain * weights.get(domain, 0.0)))
+            for i in range(count):
+                docs.append(
+                    TrainingDocument(
+                        doc_id=f"eval-{domain}-{i:04d}",
+                        text=self._clean_doc(domain, rng),
+                        domain=domain,
+                    )
+                )
+        return docs
+
+
+def corpus_summary(docs: Sequence[TrainingDocument]) -> Dict[str, float]:
+    """Defect-rate summary of a corpus (used by reports and tests)."""
+    if not docs:
+        return {"documents": 0}
+    n = len(docs)
+    return {
+        "documents": n,
+        "clean_fraction": sum(d.is_clean and not d.is_duplicate for d in docs) / n,
+        "toxic_fraction": sum(d.is_toxic for d in docs) / n,
+        "duplicate_fraction": sum(d.is_duplicate for d in docs) / n,
+        "low_quality_fraction": sum(d.quality != QUALITY_CLEAN for d in docs) / n,
+    }

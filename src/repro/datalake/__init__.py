@@ -1,0 +1,50 @@
+"""Multi-modal data-lake analytics: catalog, linking, planning, execution, NL2SQL."""
+
+from .catalog import DataLake, LakeAsset
+from .executor import ExecutionTrace, LakeAnalytics, PlanExecutor
+from .linking import (
+    EmbeddingLinker,
+    LexicalLinker,
+    LinkedAsset,
+    combine_linkers,
+    linking_recall,
+)
+from .nl2sql import NL2SQLEngine, NL2SQLResult, execute_sql, parse_sql, translate_question
+from .nl2viz import NL2VizEngine, VizResult, VizSpec, execute_spec, render_ascii, translate_viz, validate_spec
+from .plan import Plan, PlanStep
+from .planner import GroundingDecision, LakePlanner, LakeQuery, parse_lake_query
+from .workload import LakeQuestion, LakeWorkload, answer_matches
+
+__all__ = [
+    "DataLake",
+    "LakeAsset",
+    "ExecutionTrace",
+    "LakeAnalytics",
+    "PlanExecutor",
+    "EmbeddingLinker",
+    "LexicalLinker",
+    "LinkedAsset",
+    "combine_linkers",
+    "linking_recall",
+    "NL2VizEngine",
+    "VizResult",
+    "VizSpec",
+    "execute_spec",
+    "render_ascii",
+    "translate_viz",
+    "validate_spec",
+    "NL2SQLEngine",
+    "NL2SQLResult",
+    "execute_sql",
+    "parse_sql",
+    "translate_question",
+    "Plan",
+    "PlanStep",
+    "GroundingDecision",
+    "LakePlanner",
+    "LakeQuery",
+    "parse_lake_query",
+    "LakeQuestion",
+    "LakeWorkload",
+    "answer_matches",
+]

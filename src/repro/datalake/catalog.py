@@ -1,0 +1,268 @@
+"""Multi-modal data-lake catalog (Figure 1: structured / semi-structured /
+unstructured assets).
+
+A :class:`DataLake` holds three modality families over one entity world:
+
+* **structured** — typed :class:`~repro.data.table.Table` relations;
+* **semi-structured** — JSON records with nested key paths;
+* **unstructured** — text :class:`~repro.data.documents.Document`.
+
+Every asset carries a *literal description* — the observation AOP [59]
+builds on: tables have schemas with named attributes, JSON has key paths,
+documents have textual content — which the schema linker embeds into one
+space.
+
+:meth:`DataLake.from_world` splits entity types across modalities, so a
+query like "average price of products made by companies in Avaria" *must*
+cross modalities to be answered, exercising linking and planning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..data.documents import Document, DocumentRenderer
+from ..data.table import Column, Schema, Table
+from ..data.world import Entity, World
+from ..errors import ConfigError
+
+MODALITIES = ("table", "json", "document", "image")
+
+
+@dataclass
+class LakeAsset:
+    """One catalogued asset with its literal description."""
+
+    asset_id: str
+    modality: str  # "table" | "json" | "document"
+    name: str
+    description: str
+    table: Optional[Table] = None
+    records: List[Dict[str, object]] = field(default_factory=list)
+    documents: List[Document] = field(default_factory=list)
+    images: List[object] = field(default_factory=list)  # List[SimImage]
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.modality not in MODALITIES:
+            raise ConfigError(f"unknown modality {self.modality!r}")
+
+
+def _entities_to_table(name: str, entities: Sequence[Entity]) -> Table:
+    """Render entities as a typed relation (numeric columns detected)."""
+    if not entities:
+        raise ConfigError(f"cannot build table {name!r} from zero entities")
+    attr_names = sorted(entities[0].attributes)
+    columns = [Column("name", "str")]
+    for attr in attr_names:
+        sample = entities[0].attributes[attr]
+        dtype = "int" if sample.lstrip("-").isdigit() else "str"
+        columns.append(Column(attr, dtype))
+    table = Table(name, Schema(tuple(columns)))
+    for entity in entities:
+        row: Dict[str, object] = {"name": entity.name}
+        row.update(entity.attributes)
+        table.insert(row)
+    return table
+
+
+def _entities_to_json(entities: Sequence[Entity]) -> List[Dict[str, object]]:
+    """Render entities as nested JSON records (semi-structured modality)."""
+    records = []
+    for entity in entities:
+        records.append(
+            {
+                "id": entity.uid,
+                "name": entity.name,
+                "type": entity.etype,
+                "properties": dict(entity.attributes),
+            }
+        )
+    return records
+
+
+def _key_paths(record: Dict[str, object], prefix: str = "") -> List[str]:
+    paths: List[str] = []
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            paths.extend(_key_paths(value, path))
+        else:
+            paths.append(path)
+    return paths
+
+
+class DataLake:
+    """Catalog of multi-modal assets over one world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._assets: Dict[str, LakeAsset] = {}
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        *,
+        modality_by_type: Optional[Dict[str, str]] = None,
+        seed: int = 17,
+    ) -> "DataLake":
+        """Build the default lake: each entity type lands in one modality.
+
+        Default split: companies and cities as tables, products as JSON,
+        people as documents — chosen so the natural join chains
+        (product.maker -> company.headquarters -> city.country and
+        person.employer -> company) all cross modality boundaries.
+        """
+        split = modality_by_type or {
+            "company": "table",
+            "city": "table",
+            "product": "json",
+            "person": "document",
+        }
+        lake = cls(world)
+        for etype, modality in sorted(split.items()):
+            entities = world.entities_of_type(etype)
+            if not entities:
+                continue
+            plural = etype + "s" if not etype.endswith("y") else etype[:-1] + "ies"
+            if modality == "table":
+                table = _entities_to_table(plural, entities)
+                lake.add_table(table, description_extra=f"{etype} master data")
+            elif modality == "json":
+                records = _entities_to_json(entities)
+                lake.add_json(plural, records, description_extra=f"{etype} records")
+            elif modality == "document":
+                docs = DocumentRenderer(world, seed=seed).render_corpus(
+                    entity_types=[etype]
+                )
+                lake.add_documents(plural, docs, description_extra=f"{etype} articles")
+            else:
+                raise ConfigError(f"unknown modality {modality!r} for {etype!r}")
+        return lake
+
+    def add_table(self, table: Table, *, description_extra: str = "") -> LakeAsset:
+        description = (
+            f"table {table.name} with columns {', '.join(table.schema.names())}. "
+            + description_extra
+        )
+        asset = LakeAsset(
+            asset_id=f"table:{table.name}",
+            modality="table",
+            name=table.name,
+            description=description.strip(),
+            table=table,
+        )
+        return self._register(asset)
+
+    def add_json(
+        self,
+        name: str,
+        records: List[Dict[str, object]],
+        *,
+        description_extra: str = "",
+    ) -> LakeAsset:
+        paths = sorted(set(_key_paths(records[0]))) if records else []
+        description = (
+            f"json collection {name} with key paths {', '.join(paths)}. "
+            + description_extra
+        )
+        asset = LakeAsset(
+            asset_id=f"json:{name}",
+            modality="json",
+            name=name,
+            description=description.strip(),
+            records=records,
+        )
+        return self._register(asset)
+
+    def add_images(
+        self, name: str, images: List[object], *, description_extra: str = ""
+    ) -> LakeAsset:
+        """Catalog an image collection; its literal description is the
+        caption sample plus the photographed subjects (AOP: every modality
+        has a textual handle)."""
+        sample_caption = next(
+            (img.caption for img in images if getattr(img, "caption", "")), ""
+        )
+        subjects = ", ".join(getattr(img, "subject", "") for img in images[:5])
+        description = (
+            f"image collection {name}: {len(images)} product photos picture "
+            f"category. subjects: {subjects}. caption sample: {sample_caption} "
+            + description_extra
+        )
+        asset = LakeAsset(
+            asset_id=f"img:{name}",
+            modality="image",
+            name=name,
+            description=description.strip(),
+            images=list(images),
+        )
+        return self._register(asset)
+
+    def add_documents(
+        self, name: str, docs: List[Document], *, description_extra: str = ""
+    ) -> LakeAsset:
+        sample = docs[0].text[:200] if docs else ""
+        description = (
+            f"document collection {name}: {len(docs)} text articles. "
+            f"sample: {sample} " + description_extra
+        )
+        asset = LakeAsset(
+            asset_id=f"doc:{name}",
+            modality="document",
+            name=name,
+            description=description.strip(),
+            documents=docs,
+        )
+        return self._register(asset)
+
+    def _register(self, asset: LakeAsset) -> LakeAsset:
+        if asset.asset_id in self._assets:
+            raise ConfigError(f"asset {asset.asset_id!r} already in lake")
+        self._assets[asset.asset_id] = asset
+        return asset
+
+    # -------------------------------------------------------------- queries
+    def assets(self) -> List[LakeAsset]:
+        return [self._assets[k] for k in sorted(self._assets)]
+
+    def get(self, asset_id: str) -> LakeAsset:
+        try:
+            return self._assets[asset_id]
+        except KeyError:
+            raise ConfigError(
+                f"no asset {asset_id!r}; have {sorted(self._assets)}"
+            ) from None
+
+    def by_modality(self, modality: str) -> List[LakeAsset]:
+        return [a for a in self.assets() if a.modality == modality]
+
+    def json_as_table(self, asset_id: str) -> Table:
+        """Flatten a JSON asset into a relation (key paths -> columns)."""
+        asset = self.get(asset_id)
+        if asset.modality != "json":
+            raise ConfigError(f"{asset_id!r} is not a json asset")
+        rows = []
+        for record in asset.records:
+            flat: Dict[str, object] = {}
+            for path in _key_paths(record):
+                node: object = record
+                for part in path.split("."):
+                    node = node[part]  # type: ignore[index]
+                flat[path.split(".")[-1]] = node
+            rows.append(flat)
+        if not rows:
+            raise ConfigError(f"json asset {asset_id!r} is empty")
+        columns = []
+        for key in sorted(rows[0]):
+            sample = str(rows[0][key])
+            dtype = "int" if sample.lstrip("-").isdigit() else "str"
+            columns.append(Column(key, dtype))
+        return Table(asset.name, Schema(tuple(columns)), rows)
+
+    def __len__(self) -> int:
+        return len(self._assets)

@@ -1,0 +1,303 @@
+"""Plan executor for multi-modal lake queries.
+
+Interprets :class:`~repro.datalake.plan.Plan` DAGs against a
+:class:`~repro.datalake.catalog.DataLake`:
+
+* ``scan`` — tables directly; JSON flattened to a relation;
+* ``extract`` — document collections materialized into relations via an
+  extraction strategy (Evaporate by default; views are cached so repeated
+  queries amortize, as in ZENDB);
+* ``filter`` / ``join`` / ``project`` / ``aggregate`` — relational algebra
+  over :class:`~repro.data.table.Table`;
+* ``lookup`` — point RAG question over a document asset.
+
+Execution failures raise :class:`~repro.errors.ExecutionError` with the
+offending entity type attached, which is exactly the feedback the planner's
+reflection loop consumes. :class:`LakeAnalytics` packages the full
+plan → execute → reflect loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..data.table import Table
+from ..errors import ExecutionError, PlanError
+from ..llm.model import SimLLM
+from ..rag.pipeline import RAGPipeline
+from ..unstructured.query import _string_predicate
+from ..unstructured.schema_extract import EvaporateExtractor
+from .catalog import DataLake
+from .linking import EmbeddingLinker
+from .plan import Plan, PlanStep
+from .planner import GroundingDecision, LakePlanner
+
+Value = Union[Table, str, float, int]
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-query execution record."""
+
+    question: str
+    answer: str
+    plan: Plan
+    attempts: int = 1
+    llm_calls: int = 0
+    usd: float = 0.0
+    failed: bool = False
+    failure: str = ""
+
+
+class PlanExecutor:
+    """Stateless interpreter over one lake (with a per-lake extraction cache)."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        llm: SimLLM,
+        *,
+        extractor: Optional[EvaporateExtractor] = None,
+    ) -> None:
+        self.lake = lake
+        self.llm = llm
+        self.extractor = extractor or EvaporateExtractor(llm)
+        self._view_cache: Dict[Tuple[str, Tuple[str, ...]], Table] = {}
+        self._rag_cache: Dict[str, RAGPipeline] = {}
+
+    def execute(self, plan: Plan) -> str:
+        """Run a plan; returns the final step's scalar rendered as text."""
+        plan.validate()
+        values: Dict[str, Value] = {}
+        for step in plan.steps:
+            values[step.step_id] = self._run_step(step, values)
+        final = values[plan.final_step.step_id]
+        if isinstance(final, Table):
+            return str(len(final))
+        return str(final)
+
+    # --------------------------------------------------------------- steps
+    def _run_step(self, step: PlanStep, values: Dict[str, Value]) -> Value:
+        handler = getattr(self, f"_op_{step.op}", None)
+        if handler is None:
+            raise ExecutionError(f"no handler for op {step.op!r}")
+        return handler(step, values)
+
+    def _input_table(self, step: PlanStep, values: Dict[str, Value], idx: int) -> Table:
+        value = values[step.inputs[idx]]
+        if not isinstance(value, Table):
+            raise ExecutionError(
+                f"step {step.step_id!r} expected a table input, got {type(value).__name__}"
+            )
+        return value
+
+    def _op_scan(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        asset = self.lake.get(str(step.params["asset_id"]))
+        if asset.modality == "table":
+            assert asset.table is not None
+            return asset.table
+        if asset.modality == "json":
+            return self.lake.json_as_table(asset.asset_id)
+        raise ExecutionError(
+            f"cannot scan document asset {asset.asset_id!r}; use extract",
+        )
+
+    def _op_extract(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        asset = self.lake.get(str(step.params["asset_id"]))
+        if asset.modality == "image":
+            return self._extract_images(asset, step)
+        if asset.modality != "document":
+            raise ExecutionError(
+                f"extract requires a document or image asset, got {asset.modality}"
+            )
+        etype = str(step.params["etype"])
+        attributes = tuple(str(a) for a in step.params["attributes"])  # type: ignore[index]
+        cache_key = (asset.asset_id, attributes)
+        if cache_key not in self._view_cache:
+            result = self.extractor.extract(asset.documents, etype, list(attributes))
+            table = result.table
+            # Expose "subject" as "name" so joins against entity names work.
+            if "subject" in table.schema and "name" not in table.schema:
+                renamed = table.project(["subject"] + list(attributes))
+                from ..data.table import Column, Schema
+
+                cols = (Column("name"),) + tuple(Column(a) for a in attributes)
+                fixed = Table(table.name, Schema(cols))
+                for row in renamed.rows:
+                    new_row = {"name": row["subject"]}
+                    new_row.update({a: row.get(a) for a in attributes})
+                    fixed.insert(new_row)
+                table = fixed
+            self._view_cache[cache_key] = table
+        return self._view_cache[cache_key]
+
+    def _extract_images(self, asset, step: PlanStep) -> Table:
+        """Materialize an image collection via the VisualQA tool (CAESURA)."""
+        from ..data.multimodal import VisualQAModel
+        from ..data.table import Column, Schema
+
+        attributes = tuple(str(a) for a in step.params["attributes"])  # type: ignore[index]
+        cache_key = (asset.asset_id, attributes)
+        if cache_key not in self._view_cache:
+            categories = sorted(
+                {p.attributes["category"] for p in self.lake.world.products}
+            )
+            model = VisualQAModel(categories)
+            rows = model.extract_rows(asset.images, list(attributes))
+            cols = (Column("name"),) + tuple(Column(a) for a in attributes)
+            table = Table(asset.name, Schema(cols))
+            for row in rows:
+                table.insert(row)
+            self._view_cache[cache_key] = table
+        return self._view_cache[cache_key]
+
+    def _op_filter(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        table = self._input_table(step, values, 0)
+        f = str(step.params["field"])
+        if f not in table.schema:
+            raise ExecutionError(f"filter field {f!r} not in {table.schema.names()}")
+        return table.select(
+            _string_predicate(f, str(step.params["op"]), str(step.params["value"]))
+        )
+
+    def _op_join(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        left = self._input_table(step, values, 0)
+        right = self._input_table(step, values, 1)
+        left_on = str(step.params["left_on"])
+        right_on = str(step.params["right_on"])
+        if left_on not in left.schema:
+            raise ExecutionError(
+                f"join key {left_on!r} not in left table {left.schema.names()}"
+            )
+        if right_on not in right.schema:
+            raise ExecutionError(
+                f"join key {right_on!r} not in right table {right.schema.names()}"
+            )
+        return left.join(right, left_on=left_on, right_on=right_on)
+
+    def _op_project(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        table = self._input_table(step, values, 0)
+        return table.project([str(c) for c in step.params["columns"]])  # type: ignore[index]
+
+    def _op_aggregate(self, step: PlanStep, values: Dict[str, Value]) -> str:
+        table = self._input_table(step, values, 0)
+        fn = str(step.params["fn"])
+        column = str(step.params["column"])
+        if fn == "count":
+            return str(len(table))
+        if column not in table.schema:
+            raise ExecutionError(
+                f"aggregate column {column!r} not in {table.schema.names()}"
+            )
+        numeric: List[float] = []
+        for raw in table.column_values(column):
+            if raw is None:
+                continue
+            try:
+                numeric.append(float(str(raw)))
+            except ValueError:
+                continue
+        if not numeric:
+            return "unknown"
+        result = {
+            "avg": sum(numeric) / len(numeric),
+            "sum": sum(numeric),
+            "max": max(numeric),
+            "min": min(numeric),
+        }.get(fn)
+        if result is None:
+            raise ExecutionError(f"unknown aggregate {fn!r}")
+        return f"{result:.1f}"
+
+    def _op_lookup(self, step: PlanStep, values: Dict[str, Value]) -> str:
+        asset = self.lake.get(str(step.params["asset_id"]))
+        if asset.modality != "document":
+            raise ExecutionError("lookup requires a document asset")
+        if asset.asset_id not in self._rag_cache:
+            self._rag_cache[asset.asset_id] = RAGPipeline.from_documents(
+                self.llm, asset.documents
+            )
+        return self._rag_cache[asset.asset_id].answer(str(step.params["question"])).text
+
+
+class LakeAnalytics:
+    """Plan → execute → reflect loop over a data lake (the E20 system)."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        llm: SimLLM,
+        *,
+        linker: Optional[EmbeddingLinker] = None,
+        planner: Optional[LakePlanner] = None,
+        executor: Optional[PlanExecutor] = None,
+        max_reflections: int = 2,
+        doc_attributes: Optional[Dict[str, List[str]]] = None,
+    ) -> None:
+        self.lake = lake
+        self.llm = llm
+        self.linker = linker or EmbeddingLinker(lake, llm.embedder)
+        self.planner = planner or LakePlanner(
+            lake, self.linker, doc_attributes=doc_attributes
+        )
+        self.executor = executor or PlanExecutor(lake, llm)
+        self.max_reflections = max_reflections
+
+    def ask(self, question: str, *, reflect: bool = True) -> ExecutionTrace:
+        """Answer one analytics question with reflection-on-failure."""
+        calls_before = self.llm.usage.calls
+        usd_before = self.llm.usage.usd
+        plan, groundings = self.planner.plan(question)
+        attempts = 1
+        last_error = ""
+        for _ in range(self.max_reflections + 1):
+            try:
+                answer = self.executor.execute(plan)
+                return ExecutionTrace(
+                    question=question,
+                    answer=answer,
+                    plan=plan,
+                    attempts=attempts,
+                    llm_calls=self.llm.usage.calls - calls_before,
+                    usd=self.llm.usage.usd - usd_before,
+                )
+            except ExecutionError as exc:
+                last_error = str(exc)
+                if not reflect:
+                    break
+                failed_etype = self._failing_etype(plan, groundings, last_error)
+                if failed_etype is None:
+                    break
+                try:
+                    plan, groundings = self.planner.replan(
+                        question, groundings, failed_etype
+                    )
+                except PlanError:
+                    break
+                attempts += 1
+        return ExecutionTrace(
+            question=question,
+            answer="unknown",
+            plan=plan,
+            attempts=attempts,
+            llm_calls=self.llm.usage.calls - calls_before,
+            usd=self.llm.usage.usd - usd_before,
+            failed=True,
+            failure=last_error,
+        )
+
+    @staticmethod
+    def _failing_etype(
+        plan: Plan, groundings: Dict[str, GroundingDecision], error: str
+    ) -> Optional[str]:
+        """Heuristic blame assignment: the grounded type whose chosen asset's
+        columns are implicated by the error, else the first with alternatives."""
+        for etype, decision in groundings.items():
+            asset = decision.chosen
+            if asset.name in error or asset.asset_id in error:
+                return etype
+        for etype, decision in groundings.items():
+            if decision.alternatives:
+                return etype
+        return None

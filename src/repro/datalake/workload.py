@@ -1,0 +1,204 @@
+"""Lake-analytics workload generator: questions with exactly-known answers.
+
+Generates questions in the planner grammar and computes gold answers
+directly from the world's ground truth, so planner/executor accuracy is
+measurable. Question families:
+
+* single-asset aggregates ("count companies where industry == biotech");
+* cross-modal join aggregates ("average price_usd of products whose maker
+  is in companies where headquarters == Norburg") — these *require*
+  linking at least two modalities in the default lake split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.world import Entity, World
+from ..utils import derive_rng
+
+
+@dataclass(frozen=True)
+class LakeQuestion:
+    """One analytics question with its gold answer."""
+
+    text: str
+    gold: str
+    kind: str  # "single" | "join"
+    etypes: Tuple[str, ...]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.1f}"
+
+
+class LakeWorkload:
+    """Seeded generator of analytics questions over one world."""
+
+    def __init__(self, world: World, seed: int = 23) -> None:
+        self.world = world
+        self.seed = seed
+
+    # ------------------------------------------------------------- helpers
+    def _numeric_filter(
+        self, entities: Sequence[Entity], attr: str, rng
+    ) -> Tuple[str, str, str]:
+        values = sorted(int(e.attributes[attr]) for e in entities)
+        pivot = values[int(rng.integers(len(values) // 4, 3 * len(values) // 4))]
+        op = ">" if rng.random() < 0.5 else "<"
+        return (attr, op, str(pivot))
+
+    def _matches(self, entity: Entity, flt: Tuple[str, str, str]) -> bool:
+        attr, op, literal = flt
+        raw = entity.attributes.get(attr)
+        if raw is None:
+            return False
+        if op == "==":
+            return raw == literal
+        if op == "!=":
+            return raw != literal
+        try:
+            a, b = float(raw), float(literal)
+        except ValueError:
+            return False
+        return {">": a > b, "<": a < b, ">=": a >= b, "<=": a <= b}[op]
+
+    # ------------------------------------------------------------ questions
+    def single_aggregates(self, count: int) -> List[LakeQuestion]:
+        """Count/avg questions over one entity type."""
+        rng = derive_rng(self.seed, "lake-single")
+        questions: List[LakeQuestion] = []
+        companies = self.world.companies
+        products = self.world.products
+        while len(questions) < count:
+            roll = rng.random()
+            if roll < 0.4:
+                industry = companies[int(rng.integers(0, len(companies)))].attributes[
+                    "industry"
+                ]
+                gold = sum(1 for c in companies if c.attributes["industry"] == industry)
+                questions.append(
+                    LakeQuestion(
+                        text=f"count companies where industry == {industry}",
+                        gold=str(gold),
+                        kind="single",
+                        etypes=("company",),
+                    )
+                )
+            elif roll < 0.7:
+                flt = self._numeric_filter(companies, "founded", rng)
+                matching = [c for c in companies if self._matches(c, flt)]
+                values = [int(c.attributes["revenue_musd"]) for c in matching]
+                gold = _fmt(sum(values) / len(values)) if values else "unknown"
+                questions.append(
+                    LakeQuestion(
+                        text=(
+                            "average revenue_musd of companies where "
+                            f"{flt[0]} {flt[1]} {flt[2]}"
+                        ),
+                        gold=gold,
+                        kind="single",
+                        etypes=("company",),
+                    )
+                )
+            else:
+                flt = self._numeric_filter(products, "price_usd", rng)
+                gold = str(sum(1 for p in products if self._matches(p, flt)))
+                questions.append(
+                    LakeQuestion(
+                        text=f"count products where {flt[0]} {flt[1]} {flt[2]}",
+                        gold=gold,
+                        kind="single",
+                        etypes=("product",),
+                    )
+                )
+        return questions
+
+    def join_aggregates(self, count: int) -> List[LakeQuestion]:
+        """Cross-modal join questions (products x companies, people x companies)."""
+        rng = derive_rng(self.seed, "lake-join")
+        questions: List[LakeQuestion] = []
+        companies = self.world.companies
+        products = self.world.products
+        people = self.world.people
+        attempts = 0
+        while len(questions) < count:
+            attempts += 1
+            if attempts > count * 100:
+                break
+            if rng.random() < 0.5:
+                industry = companies[int(rng.integers(0, len(companies)))].attributes[
+                    "industry"
+                ]
+                makers = {
+                    c.name for c in companies if c.attributes["industry"] == industry
+                }
+                values = [
+                    int(p.attributes["price_usd"])
+                    for p in products
+                    if p.attributes["maker"] in makers
+                ]
+                if not values:
+                    continue
+                questions.append(
+                    LakeQuestion(
+                        text=(
+                            "average price_usd of products whose maker is in "
+                            f"companies where industry == {industry}"
+                        ),
+                        gold=_fmt(sum(values) / len(values)),
+                        kind="join",
+                        etypes=("product", "company"),
+                    )
+                )
+            else:
+                flt = self._numeric_filter(companies, "founded", rng)
+                employers = {c.name for c in companies if self._matches(c, flt)}
+                gold = sum(1 for p in people if p.attributes["employer"] in employers)
+                if gold == 0:
+                    continue
+                questions.append(
+                    LakeQuestion(
+                        text=(
+                            "count people whose employer is in companies where "
+                            f"{flt[0]} {flt[1]} {flt[2]}"
+                        ),
+                        gold=str(gold),
+                        kind="join",
+                        etypes=("person", "company"),
+                    )
+                )
+        return questions
+
+    def mixed(self, count: int) -> List[LakeQuestion]:
+        """Half single-asset, half join questions, interleaved."""
+        singles = self.single_aggregates((count + 1) // 2)
+        joins = self.join_aggregates(count // 2)
+        out: List[LakeQuestion] = []
+        for i in range(max(len(singles), len(joins))):
+            if i < len(singles):
+                out.append(singles[i])
+            if i < len(joins):
+                out.append(joins[i])
+        return out[:count]
+
+
+def answer_matches(predicted: str, gold: str, *, tolerance: float = 0.05) -> bool:
+    """Compare answers: exact for strings/counts, relative for floats.
+
+    Extraction noise perturbs aggregate inputs, so float answers within
+    ``tolerance`` relative error count as correct (the standard lenient
+    matching used when grading numeric QA).
+    """
+    predicted = predicted.strip()
+    gold = gold.strip()
+    if predicted == gold:
+        return True
+    try:
+        p, g = float(predicted), float(gold)
+    except ValueError:
+        return False
+    if g == 0:
+        return p == 0
+    return abs(p - g) / abs(g) <= tolerance

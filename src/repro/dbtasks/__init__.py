@@ -1,0 +1,44 @@
+"""Classic LLM4DB tasks from Figure 1: query rewriting (with strict
+equivalence verification), configuration advising, and diagnosis."""
+
+from .diagnosis import (
+    INCIDENT_TYPES,
+    DiagnosisReport,
+    Incident,
+    LLMDiagnoser,
+    MetricsGenerator,
+    MetricsTrace,
+    RuleDiagnoser,
+    detect_anomalies,
+    render_window,
+)
+from .plan_selection import (
+    CostBasedSelector,
+    JoinQuery,
+    LLMPlanSelector,
+    PhysicalPlan,
+    SelectionOutcome,
+    enumerate_plans,
+    execute_plan,
+)
+from .rewrite import RULES, QueryRewriter, RewriteOutcome, query_cost, run_query
+from .tuning import (
+    KNOB_RANGES,
+    ConfigurationAdvisor,
+    DBConfig,
+    SimulatedDB,
+    Workload,
+    coordinate_descent,
+    random_search,
+)
+
+__all__ = [
+    "INCIDENT_TYPES", "DiagnosisReport", "Incident", "LLMDiagnoser",
+    "MetricsGenerator", "MetricsTrace", "RuleDiagnoser", "detect_anomalies",
+    "render_window",
+    "CostBasedSelector", "JoinQuery", "LLMPlanSelector", "PhysicalPlan",
+    "SelectionOutcome", "enumerate_plans", "execute_plan",
+    "RULES", "QueryRewriter", "RewriteOutcome", "query_cost", "run_query",
+    "KNOB_RANGES", "ConfigurationAdvisor", "DBConfig", "SimulatedDB",
+    "Workload", "coordinate_descent", "random_search",
+]

@@ -1,0 +1,234 @@
+"""LLM-assisted query rewriting with equivalence verification (Figure 1
+"Query Rewrite"; §2.2.1: "strict equivalence before and after query
+rewriting").
+
+The pipeline mirrors LLM-rewriter systems (e.g. LLM-R2/GenRewrite):
+
+1. a **rule library** of safe rewrites over the mini-SQL dialect
+   (redundant-DISTINCT elimination, TRUE-predicate pruning, LIMIT
+   pushdown past ORDER BY-free queries, constant-comparison folding);
+2. an **LLM proposer** that suggests a rewrite (usually one of the rules,
+   but — per the model's error channel — sometimes a *plausible wrong*
+   rewrite that changes semantics, e.g. dropping a non-redundant
+   DISTINCT);
+3. an **equivalence verifier** that executes original and rewrite against
+   the actual tables and compares result multisets, rejecting any
+   non-equivalent proposal — the guardrail the tutorial says rewriting
+   needs.
+
+Cost is modeled by :func:`query_cost`, a simple logical-cost function
+(rows scanned + rows materialized), so "rewrite helps" is measurable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..data.table import Table
+from ..datalake.nl2sql import execute_sql, parse_sql
+from ..errors import ExecutionError
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from ..llm.skills import SkillContext
+
+RewriteRule = Callable[[str, Dict[str, Table]], Optional[str]]
+
+
+# --------------------------------------------------------------- the rules
+def rule_remove_redundant_distinct(sql: str, tables: Dict[str, Table]) -> Optional[str]:
+    """DISTINCT over a key column of the base table is a no-op.
+
+    The mini-dialect stores DISTINCT as ``SELECT DISTINCT col FROM t``;
+    it is redundant when ``col`` is unique in ``t`` (checked against the
+    actual data, as a catalog uniqueness constraint would be).
+    """
+    match = re.match(
+        r"^SELECT\s+DISTINCT\s+(?P<col>\w+)\s+FROM\s+(?P<table>\w+)(?P<rest>.*)$",
+        sql.strip(),
+        re.IGNORECASE,
+    )
+    if match is None:
+        return None
+    table = tables.get(match.group("table"))
+    if table is None:
+        return None
+    values = table.column_values(match.group("col"))
+    if len(set(values)) != len(values):
+        return None  # not unique: DISTINCT is load-bearing
+    return f"SELECT {match.group('col')} FROM {match.group('table')}{match.group('rest')}"
+
+
+_TRUE_PRED_RE = re.compile(
+    r"\s+WHERE\s+1\s*=\s*1\s+AND\s+", re.IGNORECASE
+)
+_TRUE_ONLY_RE = re.compile(r"\s+WHERE\s+1\s*=\s*1\s*$", re.IGNORECASE)
+
+
+def rule_prune_true_predicate(sql: str, tables: Dict[str, Table]) -> Optional[str]:
+    """Drop tautological ``1 = 1`` conjuncts (ORM/codegen residue)."""
+    if _TRUE_PRED_RE.search(sql):
+        return _TRUE_PRED_RE.sub(" WHERE ", sql)
+    if _TRUE_ONLY_RE.search(sql):
+        return _TRUE_ONLY_RE.sub("", sql)
+    return None
+
+
+def rule_fold_constant_comparison(sql: str, tables: Dict[str, Table]) -> Optional[str]:
+    """Fold ``col >= X AND col > Y`` into the tighter bound when both are
+    numeric literals on the same column."""
+    match = re.search(
+        r"WHERE\s+(?P<c1>\w+)\s*(?P<o1>>=|>)\s*(?P<v1>\d+)\s+AND\s+"
+        r"(?P<c2>\w+)\s*(?P<o2>>=|>)\s*(?P<v2>\d+)",
+        sql,
+        re.IGNORECASE,
+    )
+    if match is None or match.group("c1") != match.group("c2"):
+        return None
+    v1, v2 = int(match.group("v1")), int(match.group("v2"))
+    if v1 >= v2:
+        keep = f"{match.group('c1')} {match.group('o1')} {v1}"
+    else:
+        keep = f"{match.group('c2')} {match.group('o2')} {v2}"
+    return sql[: match.start()] + "WHERE " + keep + sql[match.end():]
+
+
+RULES: Dict[str, RewriteRule] = {
+    "remove_redundant_distinct": rule_remove_redundant_distinct,
+    "prune_true_predicate": rule_prune_true_predicate,
+    "fold_constant_comparison": rule_fold_constant_comparison,
+}
+
+
+# ------------------------------------------------------------ cost + exec
+def _strip_distinct(sql: str) -> str:
+    return re.sub(r"SELECT\s+DISTINCT\s+", "SELECT ", sql, flags=re.IGNORECASE)
+
+
+def run_query(sql: str, tables: Dict[str, Table]) -> List[tuple]:
+    """Execute (handling the DISTINCT extension) -> sorted row multiset."""
+    distinct = bool(re.match(r"^SELECT\s+DISTINCT\s+", sql.strip(), re.IGNORECASE))
+    result = execute_sql(_strip_distinct(sql), tables)
+    if distinct:
+        result = result.distinct()
+    return sorted(tuple(sorted(r.items())) for r in result.rows)
+
+
+def query_cost(sql: str, tables: Dict[str, Table]) -> float:
+    """Logical cost: base rows scanned + predicate evaluations + an extra
+    pass for DISTINCT (the dedup sort)."""
+    distinct = bool(re.match(r"^SELECT\s+DISTINCT\s+", sql.strip(), re.IGNORECASE))
+    query = parse_sql(_strip_distinct(sql))
+    base = tables.get(query.table)
+    rows = len(base) if base is not None else 0
+    cost = float(rows)
+    if query.join_table and query.join_table in tables:
+        cost += len(tables[query.join_table]) + rows
+    cost += rows * len(query.where)
+    if distinct:
+        cost += rows  # dedup pass
+    return cost
+
+
+# ---------------------------------------------------------------- LLM side
+def make_rewrite_skill(tables: Dict[str, Table]):
+    """``rewrite`` skill: propose a rule's output, or (on an error draw) a
+    plausible-but-wrong rewrite such as dropping a load-bearing DISTINCT."""
+
+    def skill_rewrite(ctx: SkillContext):
+        sql = ctx.prompt.input.strip()
+        for rule in RULES.values():
+            rewritten = rule(sql, tables)
+            if rewritten is not None:
+                if ctx.draw_correct(grounded=True):
+                    return rewritten, {}
+                break
+        # Error channel: strip DISTINCT regardless of uniqueness — the
+        # classic unsound "simplification".
+        if re.match(r"^SELECT\s+DISTINCT\s+", sql, re.IGNORECASE):
+            return _strip_distinct(sql), {"reason": "unsound-rewrite"}
+        if ctx.draw_correct(grounded=True):
+            return sql, {"reason": "no-rewrite-found"}
+        # Another unsound proposal: drop the WHERE clause entirely.
+        stripped = re.sub(r"\s+WHERE\s+.*$", "", sql, flags=re.IGNORECASE)
+        return (stripped if stripped != sql else sql), {"reason": "unsound-rewrite"}
+
+    return skill_rewrite
+
+
+@dataclass
+class RewriteOutcome:
+    """One query's rewriting result."""
+
+    original: str
+    proposal: str
+    accepted: bool
+    equivalent: bool
+    cost_before: float
+    cost_after: float
+    source: str  # "llm" | "rules"
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return 1.0
+        return self.cost_before / self.cost_after
+
+
+class QueryRewriter:
+    """Rule/LLM rewriting with execute-and-compare equivalence checking."""
+
+    def __init__(
+        self, tables: Dict[str, Table], llm: Optional[SimLLM] = None, *, verify: bool = True
+    ) -> None:
+        self.tables = tables
+        self.llm = llm
+        self.verify = verify
+        if llm is not None:
+            llm.register_skill("rewrite", make_rewrite_skill(tables))
+
+    def rewrite_with_rules(self, sql: str) -> RewriteOutcome:
+        """Apply the first matching library rule (always sound)."""
+        proposal = sql
+        for rule in RULES.values():
+            rewritten = rule(sql, self.tables)
+            if rewritten is not None:
+                proposal = rewritten
+                break
+        return self._finish(sql, proposal, source="rules")
+
+    def rewrite_with_llm(self, sql: str) -> RewriteOutcome:
+        """Ask the model for a rewrite; verify before accepting."""
+        if self.llm is None:
+            raise ExecutionError("no LLM configured for LLM rewriting")
+        response = self.llm.generate(
+            Prompt(
+                task="rewrite",
+                instruction="Rewrite the SQL to be cheaper but strictly equivalent.",
+                input=sql,
+            ).render(),
+            tag="query-rewrite",
+        )
+        return self._finish(sql, response.text.strip(), source="llm")
+
+    def _finish(self, sql: str, proposal: str, *, source: str) -> RewriteOutcome:
+        cost_before = query_cost(sql, self.tables)
+        try:
+            equivalent = (
+                run_query(sql, self.tables) == run_query(proposal, self.tables)
+            )
+            cost_after = query_cost(proposal, self.tables)
+        except ExecutionError:
+            equivalent = False
+            cost_after = cost_before
+        accepted = proposal != sql and (equivalent or not self.verify)
+        return RewriteOutcome(
+            original=sql,
+            proposal=proposal,
+            accepted=accepted,
+            equivalent=equivalent,
+            cost_before=cost_before,
+            cost_after=cost_after if accepted else cost_before,
+            source=source,
+        )

@@ -1,0 +1,261 @@
+"""Configuration advisor: LLM-guided knob tuning (Figure 1 "Configuration
+Advisor").
+
+The LLM-for-tuning loop (GPTuner/DB-BERT style): an advisor proposes knob
+changes using database-domain heuristics, every proposal is *validated by
+actually benchmarking* the (simulated) database, and only improvements are
+kept — the same propose/verify discipline the paper's principles demand.
+
+* :class:`SimulatedDB` — a closed-form throughput model over three classic
+  knobs (buffer pool, worker threads, WAL sync) with workload-dependent
+  optima and diminishing returns, standing in for a real DBMS benchmark;
+* :class:`HeuristicAdvisorSkill` — the LLM side: domain rules ("read-heavy
+  and low buffer hit => grow the buffer pool") with the usual error
+  channel (a plausible-but-wrong suggestion such as growing threads past
+  the contention knee);
+* :class:`ConfigurationAdvisor` — the tuning loop, against random-search
+  and coordinate-descent baselines at equal benchmark budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from ..llm.skills import SkillContext
+from ..utils import derive_rng
+
+KNOB_RANGES: Dict[str, Tuple[float, float]] = {
+    "buffer_pool_mb": (128.0, 16384.0),
+    "worker_threads": (1.0, 128.0),
+    "wal_sync": (0.0, 1.0),  # 0 = async (fast, risky), 1 = fsync-per-commit
+}
+
+
+@dataclass(frozen=True)
+class DBConfig:
+    """A knob assignment."""
+
+    buffer_pool_mb: float = 512.0
+    worker_threads: float = 8.0
+    wal_sync: float = 1.0
+
+    def clamped(self) -> "DBConfig":
+        values = {}
+        for name, (lo, hi) in KNOB_RANGES.items():
+            values[name] = float(min(max(getattr(self, name), lo), hi))
+        return DBConfig(**values)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: getattr(self, k) for k in KNOB_RANGES}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Workload characteristics that move the knob optima."""
+
+    name: str = "oltp"
+    read_fraction: float = 0.8
+    working_set_mb: float = 2048.0
+    concurrency: int = 32
+
+
+class SimulatedDB:
+    """Closed-form benchmark: throughput(config, workload) in tx/s.
+
+    Shapes follow DBMS folklore: buffer-pool benefit saturates once the
+    working set fits; threads scale to ~concurrency then contend; synchronous
+    WAL taxes writes only.
+    """
+
+    def __init__(self, workload: Workload, *, seed: int = 0, noise: float = 0.01) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.noise = noise
+        self.benchmarks_run = 0
+
+    def throughput(self, config: DBConfig) -> float:
+        config = config.clamped()
+        w = self.workload
+        hit_rate = min(config.buffer_pool_mb / w.working_set_mb, 1.0) ** 0.5
+        read_speed = 0.2 + 0.8 * hit_rate
+        contention = 1.0 + max(config.worker_threads - w.concurrency, 0.0) / w.concurrency
+        parallel = min(config.worker_threads, w.concurrency) / contention
+        write_tax = 1.0 - (1.0 - w.read_fraction) * 0.6 * config.wal_sync
+        base = 1000.0 * read_speed * (parallel / w.concurrency) ** 0.7 * write_tax
+        self.benchmarks_run += 1
+        rng = derive_rng(self.seed, "bench", self.benchmarks_run)
+        return float(base * (1.0 + self.noise * rng.standard_normal()))
+
+
+@dataclass
+class TuningStep:
+    """One accepted-or-rejected proposal."""
+
+    knob: str
+    factor: float
+    throughput: float
+    accepted: bool
+    source: str
+
+
+def heuristic_proposals(
+    config: DBConfig, workload: Workload
+) -> List[Tuple[str, float]]:
+    """The domain rules a competent DBA (or tuned LLM) would state.
+
+    Proposals are *targeted* ("size the buffer pool to the working set",
+    "match worker threads to the concurrency level"), which is what makes
+    knowledge-guided tuning sample-efficient compared to blind search.
+    """
+    proposals: List[Tuple[str, float]] = []
+    if config.buffer_pool_mb < workload.working_set_mb * 0.95:
+        proposals.append(
+            ("buffer_pool_mb", workload.working_set_mb * 1.05 / config.buffer_pool_mb)
+        )
+    thread_ratio = workload.concurrency / config.worker_threads
+    if not 0.8 <= thread_ratio <= 1.25:
+        proposals.append(("worker_threads", thread_ratio))
+    if workload.read_fraction < 0.6 and config.wal_sync > 0.5:
+        proposals.append(("wal_sync", 0.0))
+    if not proposals:
+        proposals.append(("buffer_pool_mb", 1.25))
+    return proposals
+
+
+def make_tuning_skill(workload: Workload):
+    """LLM ``tune`` skill: a heuristic proposal, or a plausible bad one."""
+
+    def skill_tune(ctx: SkillContext):
+        from .tuning import DBConfig  # self-import safe at call time
+
+        import json
+
+        try:
+            state = json.loads(ctx.prompt.input)
+            config = DBConfig(**{k: float(v) for k, v in state.items()})
+        except (ValueError, TypeError):
+            return "buffer_pool_mb *2.0", {"reason": "unparseable-state"}
+        proposals = heuristic_proposals(config, workload)
+        knob, factor = proposals[0]
+        if ctx.draw_correct(grounded=True):
+            return f"{knob} *{factor:.4f}", {}
+        # Plausible-but-wrong: more threads always sounds good.
+        return "worker_threads *4.0", {"reason": "cargo-cult"}
+
+    return skill_tune
+
+
+class ConfigurationAdvisor:
+    """Propose/benchmark/keep-if-better tuning loop."""
+
+    def __init__(
+        self,
+        db: SimulatedDB,
+        *,
+        llm: Optional[SimLLM] = None,
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.llm = llm
+        self.seed = seed
+        if llm is not None:
+            llm.register_skill("tune", make_tuning_skill(db.workload))
+
+    def _apply(self, config: DBConfig, knob: str, factor: float) -> DBConfig:
+        if knob not in KNOB_RANGES:
+            raise ConfigError(f"unknown knob {knob!r}")
+        return replace(config, **{knob: getattr(config, knob) * factor}).clamped()
+
+    def _propose(self, config: DBConfig, rng) -> Tuple[str, float, str]:
+        if self.llm is not None:
+            import json
+
+            response = self.llm.generate(
+                Prompt(
+                    task="tune",
+                    instruction="Suggest one knob change for more throughput.",
+                    input=json.dumps(config.as_dict()),
+                ).render(),
+                tag="tuning",
+            )
+            parts = response.text.split("*")
+            if len(parts) == 2 and parts[0].strip() in KNOB_RANGES:
+                return parts[0].strip(), float(parts[1]), "llm"
+        proposals = heuristic_proposals(config, self.db.workload)
+        knob, factor = proposals[int(rng.integers(0, len(proposals)))]
+        return knob, factor, "rules"
+
+    def tune(
+        self, start: DBConfig, *, budget: int = 12
+    ) -> Tuple[DBConfig, float, List[TuningStep]]:
+        """Run the loop for ``budget`` benchmark evaluations."""
+        if budget < 1:
+            raise ConfigError("budget must be >= 1")
+        rng = derive_rng(self.seed, "advisor")
+        best = start.clamped()
+        best_throughput = self.db.throughput(best)
+        history: List[TuningStep] = []
+        for _ in range(budget - 1):
+            knob, factor, source = self._propose(best, rng)
+            candidate = self._apply(best, knob, factor)
+            throughput = self.db.throughput(candidate)
+            accepted = throughput > best_throughput
+            history.append(
+                TuningStep(
+                    knob=knob,
+                    factor=factor,
+                    throughput=throughput,
+                    accepted=accepted,
+                    source=source,
+                )
+            )
+            if accepted:
+                best, best_throughput = candidate, throughput
+        return best, best_throughput, history
+
+
+def random_search(
+    db: SimulatedDB, start: DBConfig, *, budget: int = 12, seed: int = 0
+) -> Tuple[DBConfig, float]:
+    """Equal-budget random baseline."""
+    rng = derive_rng(seed, "random-tune")
+    best = start.clamped()
+    best_throughput = db.throughput(best)
+    knobs = sorted(KNOB_RANGES)
+    for _ in range(budget - 1):
+        knob = knobs[int(rng.integers(0, len(knobs)))]
+        lo, hi = KNOB_RANGES[knob]
+        candidate = replace(best, **{knob: float(rng.uniform(lo, hi))}).clamped()
+        throughput = db.throughput(candidate)
+        if throughput > best_throughput:
+            best, best_throughput = candidate, throughput
+    return best, best_throughput
+
+
+def coordinate_descent(
+    db: SimulatedDB, start: DBConfig, *, budget: int = 12
+) -> Tuple[DBConfig, float]:
+    """Equal-budget doubling/halving sweep, one knob at a time."""
+    best = start.clamped()
+    best_throughput = db.throughput(best)
+    spent = 1
+    knobs = sorted(KNOB_RANGES)
+    i = 0
+    while spent < budget:
+        knob = knobs[i % len(knobs)]
+        i += 1
+        for factor in (2.0, 0.5):
+            if spent >= budget:
+                break
+            candidate = replace(best, **{knob: getattr(best, knob) * factor}).clamped()
+            throughput = db.throughput(candidate)
+            spent += 1
+            if throughput > best_throughput:
+                best, best_throughput = candidate, throughput
+                break
+    return best, best_throughput

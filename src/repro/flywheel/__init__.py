@@ -1,0 +1,5 @@
+"""The data flywheel: a closed serve/collect/prepare/train loop (§2.4)."""
+
+from .loop import DataFlywheel, FlywheelRound, Interaction, QAStream
+
+__all__ = ["DataFlywheel", "FlywheelRound", "Interaction", "QAStream"]

@@ -1,0 +1,55 @@
+"""LLM serving simulator: batching, paged KV, disaggregation, caches (§2.3.2)."""
+
+from .attention_store import (
+    DEFAULT_TIERS,
+    AttentionStore,
+    MultiTurnReport,
+    Tier,
+    simulate_multiturn,
+)
+from .disaggregation import (
+    TransferModel,
+    simulate_colocated,
+    simulate_disaggregated,
+    sweep_splits,
+)
+from .eviction import (
+    POLICIES,
+    AllOrNothingPolicy,
+    CacheEntry,
+    DependencyTreePolicy,
+    EvictionPolicy,
+    KVEntryCache,
+    LFUPolicy,
+    LRUPolicy,
+)
+from .kvcache import KVStats, PagedAllocator, ReservedAllocator
+from .metrics import ServingReport, summarize
+from .prefix import PrefixCacheSimulator, PrefixReport, compare_policies
+from .request import SLO, Request
+from .scheduler import (
+    ContinuousBatchScheduler,
+    ShortestJobFirstScheduler,
+    IterationCost,
+    ServingEngine,
+    StaticBatchScheduler,
+)
+from .workload import (
+    LengthDistribution,
+    multi_turn_workload,
+    poisson_workload,
+    shared_prefix_workload,
+)
+
+__all__ = [
+    "DEFAULT_TIERS", "AttentionStore", "MultiTurnReport", "Tier", "simulate_multiturn",
+    "TransferModel", "simulate_colocated", "simulate_disaggregated", "sweep_splits",
+    "POLICIES", "AllOrNothingPolicy", "CacheEntry", "DependencyTreePolicy",
+    "EvictionPolicy", "KVEntryCache", "LFUPolicy", "LRUPolicy",
+    "KVStats", "PagedAllocator", "ReservedAllocator",
+    "ServingReport", "summarize",
+    "PrefixCacheSimulator", "PrefixReport", "compare_policies",
+    "SLO", "Request",
+    "ContinuousBatchScheduler", "ShortestJobFirstScheduler", "IterationCost", "ServingEngine", "StaticBatchScheduler",
+    "LengthDistribution", "multi_turn_workload", "poisson_workload", "shared_prefix_workload",
+]

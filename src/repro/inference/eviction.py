@@ -1,0 +1,202 @@
+"""KV-cache eviction policies (vLLM, TensorRT-LLM, AttentionStore).
+
+A capacity-bounded cache of KV *entries* (prefixes / past conversations)
+with pluggable eviction:
+
+* :class:`LRUPolicy` / :class:`LFUPolicy` — the classic baselines the
+  paper names;
+* :class:`AllOrNothingPolicy` — vLLM's sequence-granular rule: all blocks
+  of a victim sequence leave together (never partial), implemented by
+  evicting whole entries by LRU order — contrasted with a (hypothetical)
+  partial policy that leaves unusable half-sequences;
+* :class:`DependencyTreePolicy` — TensorRT-LLM's tree eviction: entries
+  form a prefix tree; leaves are evicted before their parents even when
+  the leaf was referenced more recently, because an interior node serves
+  every descendant.
+
+:class:`KVEntryCache` exposes hit/miss accounting for benchmark E6.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CacheError
+
+
+@dataclass
+class CacheEntry:
+    """One cached KV object (a prefix or a finished conversation's cache)."""
+
+    key: str
+    size_tokens: int
+    parent: Optional[str] = None  # prefix-tree structure
+    last_used: float = 0.0
+    uses: int = 0
+
+
+class EvictionPolicy(abc.ABC):
+    """Chooses the next victim among entries."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def choose_victim(
+        self, entries: Dict[str, CacheEntry], children: Dict[str, Set[str]]
+    ) -> str:
+        """Return the key to evict (entries is non-empty)."""
+
+
+class LRUPolicy(EvictionPolicy):
+    name = "lru"
+
+    def choose_victim(self, entries, children):
+        return min(entries.values(), key=lambda e: (e.last_used, e.key)).key
+
+
+class LFUPolicy(EvictionPolicy):
+    name = "lfu"
+
+    def choose_victim(self, entries, children):
+        return min(entries.values(), key=lambda e: (e.uses, e.last_used, e.key)).key
+
+
+class AllOrNothingPolicy(EvictionPolicy):
+    """LRU over whole sequences (vLLM): identical victim choice to LRU here
+    because :class:`KVEntryCache` already evicts whole entries — the policy
+    exists to contrast with partial eviction in the benchmark's analytic
+    model (partial eviction strands unusable blocks)."""
+
+    name = "all-or-nothing"
+
+    def choose_victim(self, entries, children):
+        return min(entries.values(), key=lambda e: (e.last_used, e.key)).key
+
+
+class DependencyTreePolicy(EvictionPolicy):
+    """Evict leaves before interior nodes (TensorRT-LLM's tree eviction)."""
+
+    name = "dependency-tree"
+
+    def choose_victim(self, entries, children):
+        leaves = [
+            e for e in entries.values() if not children.get(e.key)
+        ]
+        pool = leaves if leaves else list(entries.values())
+        return min(pool, key=lambda e: (e.last_used, e.key)).key
+
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "all-or-nothing": AllOrNothingPolicy,
+    "dependency-tree": DependencyTreePolicy,
+}
+
+
+@dataclass
+class CacheMetrics:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    tokens_served_from_cache: int = 0
+    tokens_recomputed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class KVEntryCache:
+    """Capacity-bounded KV entry cache with pluggable eviction."""
+
+    def __init__(self, capacity_tokens: int, policy: EvictionPolicy) -> None:
+        if capacity_tokens <= 0:
+            raise CacheError("capacity must be positive")
+        self.capacity_tokens = capacity_tokens
+        self.policy = policy
+        self._entries: Dict[str, CacheEntry] = {}
+        self._children: Dict[str, Set[str]] = {}
+        self._used = 0
+        self._clock = 0.0
+        self.metrics = CacheMetrics()
+
+    # -------------------------------------------------------------- access
+    def _touch(self, entry: CacheEntry, now: Optional[float]) -> None:
+        self._clock = max(self._clock + 1e-6, now if now is not None else self._clock)
+        entry.last_used = self._clock
+        entry.uses += 1
+        # Interior nodes serve descendants: touching a child touches ancestors.
+        parent = entry.parent
+        while parent is not None and parent in self._entries:
+            ancestor = self._entries[parent]
+            ancestor.uses += 1
+            parent = ancestor.parent
+
+    def lookup(self, key: str, *, now: Optional[float] = None) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.metrics.misses += 1
+            return None
+        self.metrics.hits += 1
+        self.metrics.tokens_served_from_cache += entry.size_tokens
+        self._touch(entry, now)
+        return entry
+
+    def record_recompute(self, tokens: int) -> None:
+        self.metrics.tokens_recomputed += tokens
+
+    # -------------------------------------------------------------- insert
+    def insert(
+        self,
+        key: str,
+        size_tokens: int,
+        *,
+        parent: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        if size_tokens > self.capacity_tokens:
+            raise CacheError(f"entry of {size_tokens} tokens exceeds capacity")
+        if key in self._entries:
+            self._touch(self._entries[key], now)
+            return
+        while self._used + size_tokens > self.capacity_tokens:
+            self._evict_one()
+        entry = CacheEntry(key=key, size_tokens=size_tokens, parent=parent)
+        self._entries[key] = entry
+        self._used += size_tokens
+        if parent is not None:
+            self._children.setdefault(parent, set()).add(key)
+        self._touch(entry, now)
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            raise CacheError("cannot evict from an empty cache")
+        victim_key = self.policy.choose_victim(self._entries, self._children)
+        victim = self._entries.pop(victim_key)
+        self._used -= victim.size_tokens
+        self.metrics.evictions += 1
+        if victim.parent is not None and victim.parent in self._children:
+            self._children[victim.parent].discard(victim_key)
+        # Orphan any children (they can no longer chain to the parent).
+        for child_key in self._children.pop(victim_key, set()):
+            child = self._entries.get(child_key)
+            if child is not None:
+                child.parent = None
+
+    # ------------------------------------------------------------ inspect
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_tokens(self) -> int:
+        return self._used
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)

@@ -1,0 +1,82 @@
+"""Aggregate serving metrics: throughput, latency percentiles, goodput."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..utils import percentile
+from .request import SLO, Request
+
+
+@dataclass
+class ServingReport:
+    """Fleet-level summary of one simulated serving run."""
+
+    requests: int
+    completed: int
+    makespan_s: float
+    throughput_rps: float
+    output_tokens_per_s: float
+    ttft_p50: float
+    ttft_p99: float
+    tbt_p50: float
+    tbt_p99: float
+    max_tbt_p99: float
+    slo_attainment: float
+    goodput_rps: float
+    mean_preemptions: float = 0.0
+    prefix_hit_rate: float = 0.0
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict for table rendering in benchmarks."""
+        return {
+            "completed": self.completed,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "out_tok_per_s": round(self.output_tokens_per_s, 1),
+            "ttft_p50_s": round(self.ttft_p50, 4),
+            "ttft_p99_s": round(self.ttft_p99, 4),
+            "tbt_p99_s": round(self.tbt_p99, 4),
+            "slo_attainment": round(self.slo_attainment, 3),
+            "goodput_rps": round(self.goodput_rps, 3),
+        }
+
+
+def summarize(
+    requests: Sequence[Request], *, slo: Optional[SLO] = None
+) -> ServingReport:
+    """Build a :class:`ServingReport` from finished request timelines."""
+    completed = [r for r in requests if r.done]
+    if not completed:
+        return ServingReport(
+            requests=len(requests), completed=0, makespan_s=0.0,
+            throughput_rps=0.0, output_tokens_per_s=0.0,
+            ttft_p50=float("inf"), ttft_p99=float("inf"),
+            tbt_p50=float("inf"), tbt_p99=float("inf"),
+            max_tbt_p99=float("inf"), slo_attainment=0.0, goodput_rps=0.0,
+        )
+    slo = slo or SLO()
+    start = min(r.arrival_s for r in completed)
+    end = max(r.finished_s for r in completed if r.finished_s is not None)
+    makespan = max(end - start, 1e-9)
+    ttfts = [r.ttft for r in completed if r.ttft is not None]
+    tbts = [gap for r in completed for gap in r.tbt_values]
+    max_tbts = [r.max_tbt for r in completed if r.max_tbt is not None]
+    out_tokens = sum(len(r.token_times) for r in completed)
+    attained = sum(1 for r in completed if slo.attained(r))
+    return ServingReport(
+        requests=len(requests),
+        completed=len(completed),
+        makespan_s=makespan,
+        throughput_rps=len(completed) / makespan,
+        output_tokens_per_s=out_tokens / makespan,
+        ttft_p50=percentile(ttfts, 50) if ttfts else float("inf"),
+        ttft_p99=percentile(ttfts, 99) if ttfts else float("inf"),
+        tbt_p50=percentile(tbts, 50) if tbts else 0.0,
+        tbt_p99=percentile(tbts, 99) if tbts else 0.0,
+        max_tbt_p99=percentile(max_tbts, 99) if max_tbts else 0.0,
+        slo_attainment=attained / len(completed),
+        goodput_rps=attained / makespan,
+        mean_preemptions=sum(r.preemptions for r in completed) / len(completed),
+        prefix_hit_rate=sum(1 for r in completed if r.prefix_hit) / len(completed),
+    )

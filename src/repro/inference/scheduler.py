@@ -1,0 +1,338 @@
+"""Batching schedulers: static, continuous (Orca), chunked prefill (Sarathi).
+
+One discrete-event engine (:class:`ServingEngine`) drives all scheduler
+policies over a shared iteration-latency model, so throughput/TTFT/TBT
+differences are attributable to scheduling alone:
+
+* :class:`StaticBatchScheduler` — classic request-level batching: collect
+  a batch, prefill it, decode until *every* member finishes, repeat.
+  Short requests wait for the batch's stragglers;
+* :class:`ContinuousBatchScheduler` — Orca's iteration-level scheduling
+  [66]: finished requests leave and waiting requests join at every
+  iteration. Full prompts prefill in one iteration, which stalls running
+  decodes (the TBT spike Sarathi fixes);
+* chunked prefill — Sarathi-Serve [4]: ``chunk_tokens`` caps the prefill
+  tokens coscheduled with decodes in any iteration, bounding TBT at a
+  small TTFT cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulerError
+from .kvcache import PagedAllocator, ReservedAllocator
+from .request import Request
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Per-iteration latency model.
+
+    ``base_s`` is the weight-read / kernel-launch floor every iteration
+    pays (decode's memory-bound cost); prefill tokens add compute-bound
+    time; each decoding sequence adds a small KV-read cost.
+    """
+
+    base_s: float = 0.006
+    per_prefill_token_s: float = 0.00011
+    per_decode_seq_s: float = 0.00025
+
+    def time(self, prefill_tokens: int, decode_seqs: int) -> float:
+        if prefill_tokens == 0 and decode_seqs == 0:
+            return 0.0
+        return (
+            self.base_s
+            + prefill_tokens * self.per_prefill_token_s
+            + decode_seqs * self.per_decode_seq_s
+        )
+
+
+@dataclass
+class _Running:
+    request: Request
+    prefill_remaining: int
+    decoded: int = 0
+
+    @property
+    def prefilling(self) -> bool:
+        return self.prefill_remaining > 0
+
+    @property
+    def finished(self) -> bool:
+        return not self.prefilling and self.decoded >= self.request.output_tokens
+
+
+class SchedulerPolicy:
+    """Interface: decide what runs in the next iteration."""
+
+    name = "base"
+
+    def plan_iteration(
+        self, engine: "ServingEngine"
+    ) -> Tuple[List[Tuple[_Running, int]], List[_Running]]:
+        """Return (prefill work as (seq, tokens) pairs, decode seqs)."""
+        raise NotImplementedError
+
+    def may_admit(self, engine: "ServingEngine") -> bool:
+        """May new requests join right now?"""
+        return True
+
+
+class ContinuousBatchScheduler(SchedulerPolicy):
+    """Iteration-level batching, optionally with chunked prefill."""
+
+    def __init__(
+        self, *, max_batch: int = 64, chunk_tokens: Optional[int] = None
+    ) -> None:
+        if max_batch <= 0:
+            raise SchedulerError("max_batch must be positive")
+        if chunk_tokens is not None and chunk_tokens <= 0:
+            raise SchedulerError("chunk_tokens must be positive")
+        self.max_batch = max_batch
+        self.chunk_tokens = chunk_tokens
+        self.name = "chunked-prefill" if chunk_tokens else "continuous"
+
+    def plan_iteration(self, engine):
+        running = list(engine.running.values())
+        decoding = [s for s in running if not s.prefilling][: self.max_batch]
+        prefilling = [s for s in running if s.prefilling]
+        prefill_work: List[Tuple[_Running, int]] = []
+        if self.chunk_tokens is None:
+            # Whole-prompt prefill: admit every waiting prefill this iteration.
+            for seq in prefilling:
+                prefill_work.append((seq, seq.prefill_remaining))
+        else:
+            budget = self.chunk_tokens
+            for seq in prefilling:
+                if budget <= 0:
+                    break
+                take = min(seq.prefill_remaining, budget)
+                prefill_work.append((seq, take))
+                budget -= take
+        return prefill_work, decoding
+
+
+class ShortestJobFirstScheduler(ContinuousBatchScheduler):
+    """Continuous batching with shortest-remaining-work priority.
+
+    The paper's open-challenges section names "query batching and
+    scheduling" as an under-exploited data-level optimization; SJF is the
+    classic latency-optimal policy: under saturation, finishing short
+    requests first minimizes mean latency (at some tail cost for long
+    requests). Prefill admission also prefers short prompts.
+    """
+
+    def __init__(self, *, max_batch: int = 64, chunk_tokens: Optional[int] = None) -> None:
+        super().__init__(max_batch=max_batch, chunk_tokens=chunk_tokens)
+        self.name = "sjf"
+
+    def plan_iteration(self, engine):
+        running = list(engine.running.values())
+        decoding = sorted(
+            (s for s in running if not s.prefilling),
+            key=lambda s: s.request.output_tokens - s.decoded,
+        )[: self.max_batch]
+        prefilling = sorted(
+            (s for s in running if s.prefilling),
+            key=lambda s: s.prefill_remaining,
+        )
+        prefill_work: List[Tuple[_Running, int]] = []
+        if self.chunk_tokens is None:
+            for seq in prefilling:
+                prefill_work.append((seq, seq.prefill_remaining))
+        else:
+            budget = self.chunk_tokens
+            for seq in prefilling:
+                if budget <= 0:
+                    break
+                take = min(seq.prefill_remaining, budget)
+                prefill_work.append((seq, take))
+                budget -= take
+        return prefill_work, decoding
+
+
+class StaticBatchScheduler(SchedulerPolicy):
+    """Request-level batching: the batch drains fully before refilling."""
+
+    def __init__(self, *, batch_size: int = 16) -> None:
+        if batch_size <= 0:
+            raise SchedulerError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.name = "static"
+
+    def plan_iteration(self, engine):
+        running = list(engine.running.values())
+        prefill_work = [(s, s.prefill_remaining) for s in running if s.prefilling]
+        decoding = [s for s in running if not s.prefilling]
+        return prefill_work, decoding
+
+    def may_admit(self, engine):
+        # Only admit when the previous batch has fully drained.
+        return not engine.running
+
+
+class ServingEngine:
+    """Discrete-event loop: admission, iteration execution, token accounting."""
+
+    def __init__(
+        self,
+        scheduler: SchedulerPolicy,
+        *,
+        allocator: Optional[object] = None,
+        cost: Optional[IterationCost] = None,
+        max_running: int = 256,
+        keep_prefix_on_release: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.allocator = allocator
+        self.cost = cost or IterationCost()
+        self.max_running = max_running
+        self.keep_prefix_on_release = keep_prefix_on_release
+        self.running: Dict[str, _Running] = {}
+        self.now = 0.0
+        self.iterations = 0
+        self.busy_s = 0.0
+        self._preempted: List[_Running] = []
+
+    # ----------------------------------------------------------- preemption
+    def _preempt_youngest(self) -> bool:
+        """vLLM's all-or-nothing recompute preemption: evict the youngest
+        running sequence entirely; it re-prefills when memory frees up."""
+        if len(self.running) <= 1:
+            return False
+        victim_id = max(
+            self.running, key=lambda rid: self.running[rid].request.arrival_s
+        )
+        seq = self.running.pop(victim_id)
+        if self.allocator is not None:
+            self.allocator.release(victim_id)
+        seq.request.preemptions += 1
+        seq.prefill_remaining = seq.request.prompt_tokens + seq.decoded
+        self._preempted.append(seq)
+        return True
+
+    def _safe_append(self, request_id: str, n_tokens: int = 1) -> None:
+        """Append KV entries, preempting under memory pressure."""
+        if self.allocator is None or request_id not in self.running:
+            return
+        from ..errors import CacheError
+
+        while True:
+            try:
+                self.allocator.append(request_id, n_tokens)
+                return
+            except CacheError as exc:
+                if "unknown request" in str(exc):
+                    return  # sequence was preempted earlier this iteration
+                if not self._preempt_youngest():
+                    raise
+
+    # ------------------------------------------------------------ admission
+    def _try_admit(self, queue: List[Request]) -> None:
+        if not self.scheduler.may_admit(self):
+            return
+        admit_cap = getattr(self.scheduler, "batch_size", None) or getattr(
+            self.scheduler, "max_batch", self.max_running
+        )
+        # Resume preempted sequences first (they hold completed work).
+        still_waiting: List[_Running] = []
+        for seq in self._preempted:
+            request = seq.request
+            total_needed = request.prompt_tokens + seq.decoded
+            can = self.allocator is None or self.allocator.can_admit(
+                request.request_id, total_needed
+            )
+            if can and len(self.running) < min(self.max_running, admit_cap):
+                if self.allocator is not None:
+                    self.allocator.admit(request.request_id, total_needed)
+                self.running[request.request_id] = seq
+            else:
+                still_waiting.append(seq)
+        self._preempted = still_waiting
+        while queue and queue[0].arrival_s <= self.now:
+            if len(self.running) >= min(self.max_running, admit_cap):
+                break
+            request = queue[0]
+            cached = 0
+            if self.allocator is not None:
+                if not self.allocator.can_admit(
+                    request.request_id,
+                    request.prompt_tokens,
+                    request.prefix_id,
+                    request.prefix_tokens,
+                ):
+                    break
+                cached = self.allocator.admit(
+                    request.request_id,
+                    request.prompt_tokens,
+                    request.prefix_id,
+                    request.prefix_tokens,
+                )
+            queue.pop(0)
+            request.admitted_s = self.now
+            request.prefix_hit = cached > 0
+            self.running[request.request_id] = _Running(
+                request=request,
+                prefill_remaining=max(request.prompt_tokens - cached, 1),
+            )
+
+    # ------------------------------------------------------------ main loop
+    def run(self, requests: Sequence[Request]) -> List[Request]:
+        """Simulate to completion; returns the requests with timelines filled."""
+        queue = sorted(requests, key=lambda r: r.arrival_s)
+        pending = list(queue)
+        total = len(pending)
+        completed = 0
+        while completed < total:
+            self._try_admit(pending)
+            if not self.running:
+                if not pending and not self._preempted:
+                    break
+                if pending:
+                    self.now = max(self.now, pending[0].arrival_s)
+                    continue
+                raise SchedulerError(
+                    "preempted sequences can never be re-admitted (KV too small)"
+                )
+            prefill_work, decoding = self.scheduler.plan_iteration(self)
+            prefill_tokens = sum(tokens for _, tokens in prefill_work)
+            iter_time = self.cost.time(prefill_tokens, len(decoding))
+            if iter_time <= 0:
+                raise SchedulerError("scheduler produced an empty iteration")
+            self.now += iter_time
+            self.busy_s += iter_time
+            self.iterations += 1
+            if self.allocator is not None:
+                self.allocator.stats.observe()
+            # Prefill progress; a prompt that completes emits its first token.
+            for seq, tokens in prefill_work:
+                if seq.request.request_id not in self.running:
+                    continue  # preempted earlier in this iteration
+                seq.prefill_remaining -= tokens
+                if not seq.prefilling and seq.decoded == 0:
+                    seq.request.first_token_s = self.now
+                    seq.request.token_times.append(self.now)
+                    seq.decoded = 1
+                    self._safe_append(seq.request.request_id, 1)
+            # Decode progress: one token per decoding sequence.
+            for seq in decoding:
+                if seq.request.request_id not in self.running:
+                    continue  # preempted earlier in this iteration
+                seq.decoded += 1
+                seq.request.token_times.append(self.now)
+                self._safe_append(seq.request.request_id, 1)
+            # Retire finished sequences.
+            for request_id in [rid for rid, s in self.running.items() if s.finished]:
+                seq = self.running.pop(request_id)
+                seq.request.finished_s = self.now
+                completed += 1
+                if self.allocator is not None:
+                    if self.keep_prefix_on_release and isinstance(
+                        self.allocator, PagedAllocator
+                    ):
+                        self.allocator.release(request_id, keep_for_prefix=True)
+                    else:
+                        self.allocator.release(request_id)
+        return list(requests)

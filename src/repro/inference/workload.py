@@ -1,0 +1,162 @@
+"""Serving workload generators: Poisson arrivals, shared prefixes, multi-turn.
+
+Substitutes for production request traces (DESIGN.md §1): arrival rate,
+length distributions, prefix sharing, and conversation structure are
+explicit parameters, matching the workload archetypes the cited systems
+evaluate on (vLLM/Orca: Poisson single-turn; PromptCache/TensorRT: shared
+system prompts; AttentionStore/Mooncake: multi-turn chats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..utils import derive_rng
+from .request import Request
+
+
+@dataclass
+class LengthDistribution:
+    """Log-normal-ish token-length distribution clipped to [lo, hi]."""
+
+    mean: int = 512
+    sigma: float = 0.6
+    lo: int = 16
+    hi: int = 8192
+
+    def sample(self, rng) -> int:
+        import math
+
+        mu = math.log(max(self.mean, 1))
+        value = int(round(math.exp(rng.normal(mu, self.sigma))))
+        return int(min(max(value, self.lo), self.hi))
+
+
+def poisson_workload(
+    *,
+    rate_rps: float,
+    duration_s: float,
+    prompt_dist: Optional[LengthDistribution] = None,
+    output_dist: Optional[LengthDistribution] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Single-turn requests with exponential inter-arrivals."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise WorkloadError("rate and duration must be positive")
+    prompt_dist = prompt_dist or LengthDistribution(mean=512)
+    output_dist = output_dist or LengthDistribution(mean=128, lo=8, hi=1024)
+    rng = derive_rng(seed, "poisson")
+    requests: List[Request] = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate_rps))
+        if t >= duration_s:
+            break
+        requests.append(
+            Request(
+                request_id=f"req-{i:05d}",
+                arrival_s=t,
+                prompt_tokens=prompt_dist.sample(rng),
+                output_tokens=output_dist.sample(rng),
+            )
+        )
+        i += 1
+    return requests
+
+
+def shared_prefix_workload(
+    *,
+    rate_rps: float,
+    duration_s: float,
+    num_prefixes: int = 4,
+    prefix_tokens: int = 512,
+    unique_prompt_dist: Optional[LengthDistribution] = None,
+    output_dist: Optional[LengthDistribution] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Requests sharing one of ``num_prefixes`` long system prompts.
+
+    The prefix-cache experiments (E5) hinge on this shape: every request's
+    first ``prefix_tokens`` tokens repeat across its group.
+    """
+    if num_prefixes <= 0 or prefix_tokens <= 0:
+        raise WorkloadError("num_prefixes and prefix_tokens must be positive")
+    unique_prompt_dist = unique_prompt_dist or LengthDistribution(mean=96, lo=8, hi=1024)
+    output_dist = output_dist or LengthDistribution(mean=128, lo=8, hi=1024)
+    rng = derive_rng(seed, "prefix")
+    requests: List[Request] = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate_rps))
+        if t >= duration_s:
+            break
+        prefix = int(rng.integers(0, num_prefixes))
+        unique = unique_prompt_dist.sample(rng)
+        requests.append(
+            Request(
+                request_id=f"req-{i:05d}",
+                arrival_s=t,
+                prompt_tokens=prefix_tokens + unique,
+                output_tokens=output_dist.sample(rng),
+                prefix_id=f"prefix-{prefix}",
+                prefix_tokens=prefix_tokens,
+            )
+        )
+        i += 1
+    return requests
+
+
+def multi_turn_workload(
+    *,
+    num_conversations: int,
+    turns_per_conversation: int = 4,
+    think_time_s: float = 20.0,
+    first_prompt: Optional[LengthDistribution] = None,
+    followup_prompt: Optional[LengthDistribution] = None,
+    output_dist: Optional[LengthDistribution] = None,
+    arrival_window_s: float = 60.0,
+    seed: int = 0,
+) -> List[Request]:
+    """Multi-turn conversations (AttentionStore/Mooncake's workload).
+
+    Each turn's prompt contains the *entire* conversation history plus a
+    new user message — which is exactly why cross-turn KV reuse matters:
+    without it every turn re-prefills the whole history.
+    """
+    if num_conversations <= 0 or turns_per_conversation <= 0:
+        raise WorkloadError("conversation counts must be positive")
+    first_prompt = first_prompt or LengthDistribution(mean=256, lo=32, hi=2048)
+    followup_prompt = followup_prompt or LengthDistribution(mean=64, lo=8, hi=512)
+    output_dist = output_dist or LengthDistribution(mean=160, lo=16, hi=1024)
+    rng = derive_rng(seed, "multiturn")
+    requests: List[Request] = []
+    for c in range(num_conversations):
+        start = float(rng.random() * arrival_window_s)
+        history = 0
+        t = start
+        for turn in range(turns_per_conversation):
+            new_tokens = (
+                first_prompt.sample(rng) if turn == 0 else followup_prompt.sample(rng)
+            )
+            output = output_dist.sample(rng)
+            prompt = history + new_tokens
+            requests.append(
+                Request(
+                    request_id=f"conv{c:03d}-t{turn}",
+                    arrival_s=t,
+                    prompt_tokens=prompt,
+                    output_tokens=output,
+                    conversation_id=f"conv{c:03d}",
+                    turn_index=turn,
+                    prefix_id=f"conv{c:03d}",
+                    prefix_tokens=history,
+                )
+            )
+            history = prompt + output
+            t += float(rng.exponential(think_time_s))
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests

@@ -1,0 +1,206 @@
+"""LLM response caching: exact and semantic (the §2.2.1 cost principle).
+
+"Cost-Efficiency Optimization ... can be achieved through caching and
+reducing unnecessary model invocations." Two cache layers wrap a
+:class:`~repro.llm.model.SimLLM` behind the same ``generate`` interface:
+
+* **exact** — hash of the rendered prompt; hits are free and identical;
+* **semantic** — embedding lookup of the prompt's *input* section against
+  previously answered prompts of the same task; a hit above the
+  similarity threshold reuses the stored answer. Semantic hits trade a
+  controlled risk of staleness/mismatch for large savings on paraphrase-
+  heavy traffic (the GPTCache design).
+
+:class:`CachedLLM` is a drop-in: components that accept a ``SimLLM`` can
+take a ``CachedLLM`` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import stable_hash
+from .model import LLMResponse, SimLLM
+from .protocol import parse_prompt
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting plus the spend the cache avoided."""
+
+    exact_hits: int = 0
+    semantic_hits: int = 0
+    misses: int = 0
+    saved_usd: float = 0.0
+    saved_calls: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.exact_hits + self.semantic_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return (
+            (self.exact_hits + self.semantic_hits) / self.lookups
+            if self.lookups
+            else 0.0
+        )
+
+
+@dataclass
+class _Entry:
+    prompt_text: str
+    input_vector: np.ndarray
+    response: LLMResponse
+
+
+class CachedLLM:
+    """Exact + semantic response cache in front of a simulated LLM.
+
+    Parameters
+    ----------
+    llm:
+        The backing model.
+    semantic_threshold:
+        Cosine similarity above which a same-task cached input is reused;
+        ``None`` disables the semantic layer (exact-only).
+    max_entries:
+        FIFO capacity bound of the semantic store.
+    cacheable_tasks:
+        Only these prompt tasks are cached (stateful/creative tasks like
+        ``decompose`` with substitution slots are excluded by default).
+    """
+
+    def __init__(
+        self,
+        llm: SimLLM,
+        *,
+        semantic_threshold: Optional[float] = 0.9,
+        max_entries: int = 10_000,
+        cacheable_tasks: Tuple[str, ...] = ("qa", "judge", "label", "extract", "map"),
+    ) -> None:
+        if semantic_threshold is not None and not 0.0 < semantic_threshold <= 1.0:
+            raise ConfigError("semantic_threshold must be in (0, 1]")
+        if max_entries <= 0:
+            raise ConfigError("max_entries must be positive")
+        self.llm = llm
+        self.semantic_threshold = semantic_threshold
+        self.max_entries = max_entries
+        self.cacheable_tasks = set(cacheable_tasks)
+        self.stats = CacheStats()
+        self._exact: Dict[int, LLMResponse] = {}
+        self._by_task: Dict[str, List[_Entry]] = {}
+        self._insert_order: List[Tuple[str, int]] = []  # (task, key) FIFO
+
+    # ---------------------------------------------------------- delegation
+    @property
+    def embedder(self):
+        return self.llm.embedder
+
+    @property
+    def knowledge(self):
+        return self.llm.knowledge
+
+    @property
+    def usage(self):
+        return self.llm.usage
+
+    @property
+    def ledger(self):
+        return self.llm.ledger
+
+    @property
+    def spec(self):
+        return self.llm.spec
+
+    @property
+    def tokenizer(self):
+        return self.llm.tokenizer
+
+    def register_skill(self, task, fn):
+        self.llm.register_skill(task, fn)
+
+    def fine_tune(self, facts):
+        self.invalidate()
+        return self.llm.fine_tune(facts)
+
+    # ------------------------------------------------------------ generate
+    def generate(
+        self,
+        prompt: str,
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> LLMResponse:
+        """Serve from cache when possible; otherwise call through and store."""
+        key = stable_hash(f"{prompt}|{max_tokens}|{temperature}")
+        cached = self._exact.get(key)
+        if cached is not None:
+            self._credit(cached)
+            self.stats.exact_hits += 1
+            return cached
+        parsed = parse_prompt(prompt)
+        cacheable = parsed.task in self.cacheable_tasks and temperature == 0.0
+        if cacheable and self.semantic_threshold is not None:
+            hit = self._semantic_lookup(parsed.task, parsed.input, parsed.raw)
+            if hit is not None:
+                self._credit(hit)
+                self.stats.semantic_hits += 1
+                return hit
+        response = self.llm.generate(
+            prompt, max_tokens=max_tokens, temperature=temperature, tag=tag
+        )
+        self.stats.misses += 1
+        if cacheable:
+            self._exact[key] = response
+            vector = self.llm.embedder.embed(parsed.input)
+            self._by_task.setdefault(parsed.task, []).append(
+                _Entry(prompt_text=prompt, input_vector=vector, response=response)
+            )
+            self._insert_order.append((parsed.task, key))
+            self._evict_if_needed()
+        return response
+
+    def _semantic_lookup(
+        self, task: str, input_text: str, raw_prompt: str
+    ) -> Optional[LLMResponse]:
+        entries = self._by_task.get(task)
+        if not entries:
+            return None
+        query = self.llm.embedder.embed(input_text)
+        best_score = -1.0
+        best: Optional[_Entry] = None
+        for entry in entries:
+            score = float(np.dot(query, entry.input_vector))
+            if score > best_score:
+                best_score, best = score, entry
+        if best is not None and best_score >= self.semantic_threshold:
+            return best.response
+        return None
+
+    def _credit(self, response: LLMResponse) -> None:
+        self.stats.saved_usd += response.usage.usd
+        self.stats.saved_calls += 1
+
+    def _evict_if_needed(self) -> None:
+        while len(self._insert_order) > self.max_entries:
+            task, key = self._insert_order.pop(0)
+            self._exact.pop(key, None)
+            entries = self._by_task.get(task)
+            if entries:
+                entries.pop(0)
+
+    # ---------------------------------------------------------- management
+    def invalidate(self) -> None:
+        """Drop everything (e.g. after fine-tuning changes the model)."""
+        self._exact.clear()
+        self._by_task.clear()
+        self._insert_order.clear()
+
+    def __len__(self) -> int:
+        return len(self._insert_order)

@@ -1,0 +1,118 @@
+"""Cost and latency accounting for simulated LLM calls.
+
+Every call to a :class:`~repro.llm.model.SimLLM` produces a :class:`Usage`
+record; :class:`UsageLedger` aggregates them. Latency follows the standard
+two-phase serving model the paper describes (§2.3.2 LLM Inference): a
+compute-bound *prefill* over all input tokens, then a sequential,
+bandwidth-bound *decode* of one output token at a time — so time-to-first-
+token scales with input length and total time adds per-output-token cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import BudgetExceededError, ConfigError
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Resource usage of one (or an aggregate of) LLM call(s)."""
+
+    input_tokens: int = 0
+    output_tokens: int = 0
+    latency_s: float = 0.0
+    usd: float = 0.0
+    calls: int = 0
+
+    def __add__(self, other: "Usage") -> "Usage":
+        return Usage(
+            input_tokens=self.input_tokens + other.input_tokens,
+            output_tokens=self.output_tokens + other.output_tokens,
+            latency_s=self.latency_s + other.latency_s,
+            usd=self.usd + other.usd,
+            calls=self.calls + other.calls,
+        )
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+@dataclass
+class CostModel:
+    """Latency and dollar model for one model tier.
+
+    ``prefill_tps`` / ``decode_tps`` are tokens-per-second throughputs of
+    the two phases; dollar rates follow the per-1k-token convention of
+    hosted APIs.
+    """
+
+    prefill_tps: float = 8000.0
+    decode_tps: float = 60.0
+    usd_per_1k_input: float = 0.5
+    usd_per_1k_output: float = 1.5
+    fixed_overhead_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.prefill_tps <= 0 or self.decode_tps <= 0:
+            raise ConfigError("throughputs must be positive")
+
+    def ttft(self, input_tokens: int) -> float:
+        """Time to first token: overhead + full prefill."""
+        return self.fixed_overhead_s + input_tokens / self.prefill_tps
+
+    def usage(self, input_tokens: int, output_tokens: int) -> Usage:
+        """Usage record for one call."""
+        latency = self.ttft(input_tokens) + output_tokens / self.decode_tps
+        usd = (
+            input_tokens / 1000.0 * self.usd_per_1k_input
+            + output_tokens / 1000.0 * self.usd_per_1k_output
+        )
+        return Usage(
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+            latency_s=latency,
+            usd=usd,
+            calls=1,
+        )
+
+
+@dataclass
+class UsageLedger:
+    """Aggregates call usage, optionally enforcing a budget.
+
+    Set ``max_usd`` or ``max_calls`` to make over-budget calls raise
+    :class:`~repro.errors.BudgetExceededError` — used by cost-bounded
+    pipelines (Evaporate-style extraction, cascades).
+    """
+
+    max_usd: Optional[float] = None
+    max_calls: Optional[int] = None
+    total: Usage = field(default_factory=Usage)
+    by_tag: Dict[str, Usage] = field(default_factory=dict)
+    history: List[Usage] = field(default_factory=list)
+
+    def charge(self, usage: Usage, *, tag: str = "default") -> None:
+        """Record ``usage``; raises if a budget would be exceeded."""
+        if self.max_usd is not None and self.total.usd + usage.usd > self.max_usd:
+            raise BudgetExceededError(
+                f"budget {self.max_usd:.4f} USD exceeded "
+                f"(spent {self.total.usd:.4f}, next call {usage.usd:.4f})"
+            )
+        if self.max_calls is not None and self.total.calls + usage.calls > self.max_calls:
+            raise BudgetExceededError(f"call budget {self.max_calls} exceeded")
+        self.total = self.total + usage
+        self.by_tag[tag] = self.by_tag.get(tag, Usage()) + usage
+        self.history.append(usage)
+
+    def remaining_usd(self) -> Optional[float]:
+        if self.max_usd is None:
+            return None
+        return max(self.max_usd - self.total.usd, 0.0)
+
+    def reset(self) -> None:
+        self.total = Usage()
+        self.by_tag.clear()
+        self.history.clear()

@@ -1,0 +1,146 @@
+"""Deterministic text-embedding model.
+
+Embeds text as an IDF-weighted sum of per-token random Gaussian vectors,
+where each token's vector is seeded by a stable hash of the token string.
+This reproduces the property dense retrieval depends on — lexically and
+topically similar texts land near each other in cosine space — without any
+learned weights or network access.
+
+Two refinements close the gap to learned embedders:
+
+* **stem smoothing** — each token also contributes the vector of its first
+  ``stem_len`` characters at reduced weight, so morphological variants
+  ("configure" / "configuration") are close; and
+* **bigram mixing** — adjacent-token bigrams contribute at reduced weight so
+  word order matters slightly (distinguishing "flight from Berlin to Rome"
+  from "flight from Rome to Berlin").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import normalize, stable_hash
+from .tokenizer import Tokenizer, default_tokenizer
+
+
+@dataclass
+class EmbeddingModel:
+    """Hash-seeded random-projection embedder.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    seed:
+        Model identity: two models with the same seed embed identically,
+        models with different seeds define incompatible spaces (as with real
+        embedding model families).
+    stem_len / stem_weight:
+        Prefix-stem smoothing (0 weight disables).
+    bigram_weight:
+        Adjacent-bigram contribution (0 disables).
+    """
+
+    dim: int = 128
+    seed: int = 0
+    stem_len: int = 5
+    stem_weight: float = 0.4
+    bigram_weight: float = 0.25
+    tokenizer: Tokenizer = field(default_factory=default_tokenizer)
+    _token_vectors: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _doc_freq: Dict[str, int] = field(default_factory=dict, repr=False)
+    _num_docs: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dim < 8:
+            raise ConfigError(f"embedding dim too small: {self.dim}")
+
+    # ------------------------------------------------------------------ IDF
+    def fit_idf(self, corpus: Iterable[str]) -> "EmbeddingModel":
+        """Fit inverse-document-frequency weights on ``corpus``.
+
+        Optional; without it all tokens are weighted equally. Returns self
+        for chaining.
+        """
+        for text in corpus:
+            self._num_docs += 1
+            for token in set(self.tokenizer.content_tokens(text)):
+                self._doc_freq[token] = self._doc_freq.get(token, 0) + 1
+        return self
+
+    def _idf(self, token: str) -> float:
+        if not self._num_docs:
+            return 1.0
+        df = self._doc_freq.get(token, 0)
+        return math.log((1 + self._num_docs) / (1 + df)) + 1.0
+
+    # -------------------------------------------------------------- vectors
+    def _unit_vector(self, key: str) -> np.ndarray:
+        vec = self._token_vectors.get(key)
+        if vec is None:
+            rng = np.random.default_rng(stable_hash(f"emb:{self.seed}:{key}"))
+            vec = rng.standard_normal(self.dim).astype(np.float32)
+            vec /= np.linalg.norm(vec)
+            self._token_vectors[key] = vec
+        return vec
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text`` into a unit-norm float32 vector."""
+        tokens = self.tokenizer.content_tokens(text)
+        acc = np.zeros(self.dim, dtype=np.float32)
+        if not tokens:
+            return self._unit_vector("<empty>").copy()
+        for token in tokens:
+            weight = self._idf(token)
+            acc += weight * self._unit_vector(token)
+            if self.stem_weight > 0 and len(token) > self.stem_len:
+                acc += weight * self.stem_weight * self._unit_vector(token[: self.stem_len])
+        if self.bigram_weight > 0:
+            for left, right in zip(tokens, tokens[1:]):
+                acc += self.bigram_weight * self._unit_vector(f"{left}##{right}")
+        return normalize(acc).astype(np.float32)
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many texts; returns an ``(n, dim)`` float32 matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.stack([self.embed(text) for text in texts])
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity of two texts under this model."""
+        return float(np.dot(self.embed(a), self.embed(b)))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two (not necessarily normalized) vectors."""
+    na, nb = float(np.linalg.norm(a)), float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def top_k_cosine(
+    query: np.ndarray, matrix: np.ndarray, k: int, *, exclude: Optional[set] = None
+) -> List[tuple]:
+    """Exact top-k rows of ``matrix`` by cosine similarity to ``query``.
+
+    Returns ``(row_index, score)`` pairs sorted by descending score. Assumes
+    rows and query are already unit-normalized (dot == cosine).
+    """
+    if matrix.shape[0] == 0 or k <= 0:
+        return []
+    scores = matrix @ query
+    if exclude:
+        scores = scores.copy()
+        for idx in exclude:
+            scores[idx] = -np.inf
+    k = min(k, matrix.shape[0])
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top])]
+    return [(int(i), float(scores[i])) for i in top if np.isfinite(scores[i])]

@@ -1,0 +1,219 @@
+"""The simulated LLM: a deterministic oracle with a realistic failure model.
+
+:class:`SimLLM` is the drop-in stand-in for a hosted model. Components send
+rendered prompt *text* (see ``repro.llm.protocol``); the model parses the
+text, dispatches to a task skill (``repro.llm.skills``), applies its error
+channel, and returns an :class:`LLMResponse` with full usage accounting.
+
+Why this substitution preserves the paper's behaviour: LLM4Data techniques
+are control flow *around* an LLM — their value depends on the oracle's
+accuracy/cost/hallucination envelope, not its weights. SimLLM exposes those
+three dials explicitly (per tier, see ``repro.llm.hub``), so every benchmark
+can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..data.ngram import NGramLM
+    from ..data.world import Fact, World
+
+from ..errors import ModelError
+from ..utils import derive_rng, stable_hash
+from .cost import Usage, UsageLedger
+from .embedding import EmbeddingModel
+from .hub import ModelSpec, default_hub
+from .knowledge import KnowledgeBase
+from .protocol import ParsedPrompt, parse_prompt
+from .skills import SKILLS, SkillContext
+from .tokenizer import Tokenizer, default_tokenizer
+
+SkillFn = Callable[[SkillContext], Tuple[str, Dict[str, object]]]
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """One model reply plus its resource usage and debug metadata."""
+
+    text: str
+    usage: Usage
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def abstained(self) -> bool:
+        return self.text.strip().lower() == "unknown"
+
+
+class SimLLM:
+    """A simulated large language model.
+
+    Parameters
+    ----------
+    spec:
+        Model tier (accuracy, hallucination, cost). Defaults to ``sim-base``.
+    world:
+        If given, the model "pretrained on" a ``spec.knowledge_coverage``
+        fraction of the world's facts.
+    knowledge:
+        Explicit knowledge base (overrides ``world`` sampling).
+    seed:
+        Model identity seed; drives all stochastic draws.
+    ledger:
+        Optional shared :class:`UsageLedger` for budget enforcement.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ModelSpec] = None,
+        *,
+        world: "Optional[World]" = None,
+        knowledge: Optional[KnowledgeBase] = None,
+        seed: int = 0,
+        embedder: Optional[EmbeddingModel] = None,
+        tokenizer: Optional[Tokenizer] = None,
+        ledger: Optional[UsageLedger] = None,
+    ) -> None:
+        self.spec = spec or default_hub().get("sim-base")
+        self.seed = seed
+        self.tokenizer = tokenizer or default_tokenizer()
+        self.embedder = embedder or EmbeddingModel(seed=seed)
+        if knowledge is not None:
+            self.knowledge = knowledge
+        elif world is not None:
+            self.knowledge = KnowledgeBase.from_world(
+                world, coverage=self.spec.knowledge_coverage, seed=seed
+            )
+        else:
+            self.knowledge = KnowledgeBase()
+        self.ledger = ledger or UsageLedger()
+        self._extra_skills: Dict[str, SkillFn] = {}
+        self._scorer = None
+        self._call_log: List[Dict[str, object]] = []
+
+    # ----------------------------------------------------------- extension
+    def register_skill(self, task: str, fn: SkillFn) -> None:
+        """Register a custom task skill (e.g. ``sql``) on this instance."""
+        self._extra_skills[task] = fn
+
+    def fine_tune(self, facts: "List[Fact]") -> int:
+        """Inject facts into parametric knowledge (SFT stand-in).
+
+        Returns the number of previously-unknown facts learned.
+        """
+        return self.knowledge.add_facts(facts)
+
+    # ----------------------------------------------------------- inference
+    def generate(
+        self,
+        prompt: str,
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> LLMResponse:
+        """Run one model call on rendered prompt text."""
+        if max_tokens <= 0:
+            raise ModelError(f"max_tokens must be positive, got {max_tokens}")
+        input_tokens = self.tokenizer.count(prompt)
+        if input_tokens > self.spec.context_window:
+            raise ModelError(
+                f"prompt of {input_tokens} tokens exceeds context window "
+                f"{self.spec.context_window} of {self.spec.name}"
+            )
+        parsed = parse_prompt(prompt)
+        text, meta = self._dispatch(parsed, temperature)
+        output_tokens = min(max(self.tokenizer.count(text), 1), max_tokens)
+        usage = self.spec.cost.usage(input_tokens, output_tokens)
+        self.ledger.charge(usage, tag=tag)
+        self._call_log.append(
+            {"task": parsed.task, "tag": tag, "tokens": usage.total_tokens}
+        )
+        return LLMResponse(text=text, usage=usage, meta=meta)
+
+    def _dispatch(
+        self, parsed: ParsedPrompt, temperature: float
+    ) -> Tuple[str, Dict[str, object]]:
+        skill = self._extra_skills.get(parsed.task) or SKILLS.get(parsed.task)
+        rng = derive_rng(
+            self.seed,
+            "call",
+            stable_hash(parsed.raw),
+            int(temperature * 1000),
+        )
+        ctx = SkillContext(
+            prompt=parsed,
+            knowledge=self.knowledge,
+            embedder=self.embedder,
+            rng=rng,
+            base_accuracy=self.spec.base_accuracy,
+            hallucination_rate=self.spec.hallucination_rate,
+            reasoning_depth=self.spec.reasoning_depth,
+        )
+        if skill is None:
+            return self._chat(parsed, ctx)
+        return skill(ctx)
+
+    def _chat(
+        self, parsed: ParsedPrompt, ctx: SkillContext
+    ) -> Tuple[str, Dict[str, object]]:
+        """Free-form fallback: try QA parsing, else template small talk."""
+        from .skills import parse_question, skill_qa
+
+        if parse_question(parsed.input) is not None:
+            return skill_qa(ctx)
+        return (
+            "I can help with data tasks: question answering, extraction, "
+            "filtering, ranking, and planning.",
+            {"reason": "chat-fallback"},
+        )
+
+    # -------------------------------------------------------------- scoring
+    def _ensure_scorer(self) -> "NGramLM":
+        from ..data.ngram import NGramLM
+
+        if self._scorer is None:
+            sentences = [
+                f"{subject} {attribute.replace('_', ' ')} {value}"
+                for (subject, attribute), value in self.knowledge.facts.items()
+            ]
+            self._scorer = NGramLM(order=2).fit(sentences or ["the quick brown fox"])
+        return self._scorer
+
+    def perplexity(self, text: str) -> float:
+        """Perplexity of text under the model's scoring head.
+
+        Fluent in-domain text scores low; garbage scores high — which is all
+        that perplexity-based data selection relies on.
+        """
+        return self._ensure_scorer().perplexity(text)
+
+    def set_scorer(self, lm: "NGramLM") -> None:
+        """Replace the scoring head (e.g. with an LM fit on a reference set)."""
+        self._scorer = lm
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def usage(self) -> Usage:
+        return self.ledger.total
+
+    def reset_usage(self) -> None:
+        self.ledger.reset()
+        self._call_log.clear()
+
+    @property
+    def call_log(self) -> List[Dict[str, object]]:
+        return list(self._call_log)
+
+
+def make_llm(
+    name: str = "sim-base",
+    *,
+    world: "Optional[World]" = None,
+    seed: int = 0,
+    ledger: Optional[UsageLedger] = None,
+) -> SimLLM:
+    """Convenience constructor from a hub tier name."""
+    return SimLLM(default_hub().get(name), world=world, seed=seed, ledger=ledger)

@@ -1,0 +1,161 @@
+"""Prompt wire format between LLM4Data components and the simulated LLM.
+
+Components never call into the simulator's internals directly: they render a
+*textual* prompt (as they would for a hosted model) and the simulator parses
+that text back. This keeps the interface honest — what is not in the prompt
+is invisible to the model, so prompt-engineering choices (adding context,
+few-shot examples, compressing) have real effects.
+
+The format is a light sectioned layout::
+
+    ### task: qa
+    ### instruction: Answer using only the provided context.
+    ### context:
+    <passages...>
+    ### examples:
+    Q: ... A: ...
+    ### input:
+    Which country is Norburg in?
+
+Free-form prompts without ``### task:`` parse as task ``chat``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_SECTION_RE = re.compile(r"^### (\w+):\s*(.*)$")
+
+KNOWN_TASKS = {
+    "chat",
+    "qa",
+    "extract",
+    "judge",
+    "map",
+    "join",
+    "rank",
+    "decompose",
+    "sql",
+    "viz",
+    "rewrite",
+    "tune",
+    "codegen",
+    "label",
+    "summarize",
+}
+
+
+@dataclass
+class Prompt:
+    """Structured prompt; ``render()`` yields the literal text sent to a model."""
+
+    task: str = "chat"
+    instruction: str = ""
+    context: str = ""
+    examples: List[str] = field(default_factory=list)
+    input: str = ""
+    fields: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"### task: {self.task}"]
+        if self.instruction:
+            lines.append(f"### instruction: {self.instruction}")
+        for key, value in sorted(self.fields.items()):
+            lines.append(f"### {key}: {value}")
+        if self.context:
+            lines.append("### context:")
+            lines.append(self.context)
+        if self.examples:
+            lines.append("### examples:")
+            lines.extend(self.examples)
+        lines.append("### input:")
+        lines.append(self.input)
+        return "\n".join(lines)
+
+
+@dataclass
+class ParsedPrompt:
+    """What the simulated model recovers from a prompt's text."""
+
+    task: str
+    instruction: str
+    context: str
+    examples: List[str]
+    input: str
+    fields: Dict[str, str]
+    raw: str
+
+    @property
+    def num_examples(self) -> int:
+        return len(self.examples)
+
+    @property
+    def has_context(self) -> bool:
+        return bool(self.context.strip())
+
+
+# Sections whose content is a block following the header line.
+_BLOCK_SECTIONS = {"context", "examples", "input"}
+
+
+def parse_prompt(text: str) -> ParsedPrompt:
+    """Parse prompt text back into sections (inverse of ``Prompt.render``).
+
+    Robust to free-form text: anything that doesn't follow the sectioned
+    format becomes the ``input`` of a ``chat`` task.
+    """
+    lines = text.splitlines()
+    task = "chat"
+    instruction = ""
+    fields: Dict[str, str] = {}
+    blocks: Dict[str, List[str]] = {name: [] for name in _BLOCK_SECTIONS}
+    current_block: Optional[str] = None
+    free_lines: List[str] = []
+    saw_section = False
+
+    for line in lines:
+        match = _SECTION_RE.match(line)
+        if match:
+            saw_section = True
+            key, value = match.group(1), match.group(2)
+            if key == "task":
+                task = value.strip() or "chat"
+                current_block = None
+            elif key == "instruction":
+                instruction = value.strip()
+                current_block = None
+            elif key in _BLOCK_SECTIONS:
+                current_block = key
+                if value.strip():
+                    blocks[key].append(value.strip())
+            else:
+                fields[key] = value.strip()
+                current_block = None
+        elif current_block is not None:
+            blocks[current_block].append(line)
+        else:
+            free_lines.append(line)
+
+    if not saw_section:
+        return ParsedPrompt(
+            task="chat",
+            instruction="",
+            context="",
+            examples=[],
+            input=text.strip(),
+            fields={},
+            raw=text,
+        )
+
+    examples = [line for line in blocks["examples"] if line.strip()]
+    return ParsedPrompt(
+        task=task if task in KNOWN_TASKS else "chat",
+        instruction=instruction,
+        context="\n".join(blocks["context"]).strip(),
+        examples=examples,
+        input="\n".join(blocks["input"]).strip() or "\n".join(free_lines).strip(),
+        fields=fields,
+        raw=text,
+    )

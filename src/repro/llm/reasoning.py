@@ -1,0 +1,142 @@
+"""Reasoning strategies over a simulated LLM (Figure 1 "X-of-Thought").
+
+Implements the test-time-compute patterns the architecture diagram names:
+
+* :func:`self_consistency` — sample the same prompt at several
+  temperatures and majority-vote the answers (Wang et al.'s
+  self-consistency); buys accuracy with extra calls, which is exactly the
+  accuracy/cost dial the tutorial's cost discussion needs;
+* :func:`chain_of_questions` — decompose-then-answer (the native-CoT
+  analogue for our factual tasks): break a multi-hop question into hops
+  via the ``decompose`` skill, answer each hop, and substitute forward;
+* :func:`best_of_n_grounded` — generate N candidates and pick the one
+  supported by the provided context (a verifier-guided best-of-n).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from .model import SimLLM
+from .protocol import Prompt
+
+ABSTAIN = "unknown"
+
+
+@dataclass
+class ReasoningResult:
+    """Answer plus the deliberation that produced it."""
+
+    answer: str
+    votes: Counter = field(default_factory=Counter)
+    calls: int = 0
+    agreement: float = 0.0  # winning-vote share
+
+    @property
+    def abstained(self) -> bool:
+        return self.answer.strip().lower() == ABSTAIN
+
+
+def self_consistency(
+    llm: SimLLM,
+    prompt: Prompt,
+    *,
+    samples: int = 5,
+    temperature_step: float = 0.35,
+    tag: str = "self-consistency",
+) -> ReasoningResult:
+    """Majority vote over temperature-diversified samples.
+
+    Abstentions never win while any sample committed to an answer — a
+    model that knows the fact in most samples should say it.
+    """
+    if samples < 1:
+        raise ConfigError("samples must be >= 1")
+    rendered = prompt.render()
+    votes: Counter = Counter()
+    for i in range(samples):
+        response = llm.generate(
+            rendered, temperature=i * temperature_step, tag=tag
+        )
+        votes[response.text.strip()] += 1
+    committed = {a: c for a, c in votes.items() if a.lower() != ABSTAIN}
+    pool = committed or dict(votes)
+    winner = max(sorted(pool), key=lambda a: pool[a])
+    return ReasoningResult(
+        answer=winner,
+        votes=votes,
+        calls=samples,
+        agreement=pool[winner] / samples,
+    )
+
+
+def chain_of_questions(
+    llm: SimLLM,
+    question: str,
+    *,
+    context_provider=None,
+    max_hops: int = 3,
+    tag: str = "chain",
+) -> ReasoningResult:
+    """Decompose-then-answer: native CoT for multi-hop factual questions.
+
+    ``context_provider(sub_question) -> str`` optionally grounds each hop
+    (pass a retriever closure for ReAct-style grounded chains).
+    """
+    decomposition = llm.generate(
+        Prompt(task="decompose", input=question).render(), tag=tag
+    )
+    steps = [line.strip() for line in decomposition.text.splitlines() if line.strip()]
+    steps = steps[:max_hops] or [question]
+    calls = 1
+    answer = ABSTAIN
+    for i, step in enumerate(steps):
+        resolved = step.replace("{answer1}", answer if i else "")
+        context = context_provider(resolved) if context_provider else ""
+        response = llm.generate(
+            Prompt(
+                task="qa",
+                instruction="Answer using the provided context." if context else "",
+                context=context,
+                input=resolved,
+            ).render(),
+            tag=tag,
+        )
+        calls += 1
+        answer = response.text
+        if answer.strip().lower() == ABSTAIN:
+            break
+    return ReasoningResult(answer=answer, calls=calls, agreement=1.0)
+
+
+def best_of_n_grounded(
+    llm: SimLLM,
+    prompt: Prompt,
+    *,
+    samples: int = 4,
+    temperature_step: float = 0.4,
+    tag: str = "best-of-n",
+) -> ReasoningResult:
+    """Generate N candidates; return the first literally supported by the
+    prompt's context (verifier-guided selection), else the majority."""
+    if not prompt.context.strip():
+        raise ConfigError("best_of_n_grounded requires a context to verify against")
+    haystack = prompt.context.lower()
+    rendered = prompt.render()
+    votes: Counter = Counter()
+    supported: List[str] = []
+    for i in range(samples):
+        text = llm.generate(rendered, temperature=i * temperature_step, tag=tag).text.strip()
+        votes[text] += 1
+        if text.lower() != ABSTAIN and text.lower() in haystack:
+            supported.append(text)
+    if supported:
+        winner = Counter(supported).most_common(1)[0][0]
+    else:
+        winner = max(sorted(votes), key=lambda a: votes[a])
+    return ReasoningResult(
+        answer=winner, votes=votes, calls=samples, agreement=votes[winner] / samples
+    )

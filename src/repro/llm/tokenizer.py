@@ -1,0 +1,115 @@
+"""Deterministic word-level tokenizer with subword fallback.
+
+Real LLM stacks use learned BPE vocabularies; for a fully offline,
+reproducible substrate we use a closed-form scheme that preserves the two
+properties the rest of the library relies on:
+
+* token counts scale with text length the way BPE counts do (roughly one
+  token per short word, several per long/rare word), so cost and latency
+  models behave realistically; and
+* tokenization is invertible, so generated token streams round-trip to text.
+
+Words at most ``max_word_len`` characters long become single tokens; longer
+words are split into fixed-size subword pieces, mimicking how BPE fragments
+rare words. Token ids are stable hashes of the token string into a fixed
+vocabulary range, so two processes always agree on ids.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import TokenizerError
+from ..utils import stable_hash
+
+_TOKEN_PATTERN = re.compile(r"\w+|[^\w\s]|\s+", re.UNICODE)
+
+
+@dataclass
+class Tokenizer:
+    """Reversible deterministic tokenizer.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the id space tokens are hashed into. Collisions are possible
+        (as in any hashed vocabulary) but ids are only used for embedding
+        lookups and cost accounting, never for reconstruction — the decoder
+        keeps the literal piece strings.
+    max_word_len:
+        Words longer than this are split into subword pieces of this length.
+    """
+
+    vocab_size: int = 50_000
+    max_word_len: int = 8
+    _id_cache: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 256:
+            raise TokenizerError(f"vocab_size too small: {self.vocab_size}")
+        if self.max_word_len < 2:
+            raise TokenizerError(f"max_word_len too small: {self.max_word_len}")
+
+    def pieces(self, text: str) -> List[str]:
+        """Split ``text`` into token piece strings (lossless: concat == text)."""
+        pieces: List[str] = []
+        for match in _TOKEN_PATTERN.finditer(text):
+            chunk = match.group(0)
+            if chunk.isspace() or len(chunk) <= self.max_word_len:
+                pieces.append(chunk)
+            else:
+                step = self.max_word_len
+                pieces.extend(chunk[i : i + step] for i in range(0, len(chunk), step))
+        return pieces
+
+    def token_id(self, piece: str) -> int:
+        """Stable id of a piece within ``[0, vocab_size)``."""
+        cached = self._id_cache.get(piece)
+        if cached is None:
+            cached = stable_hash("tok:" + piece) % self.vocab_size
+            self._id_cache[piece] = cached
+        return cached
+
+    def encode(self, text: str) -> List[int]:
+        """Encode ``text`` into token ids."""
+        return [self.token_id(piece) for piece in self.pieces(text)]
+
+    def encode_with_pieces(self, text: str) -> List[tuple]:
+        """Encode, returning ``(id, piece)`` pairs for lossless decoding."""
+        return [(self.token_id(piece), piece) for piece in self.pieces(text)]
+
+    def decode_pieces(self, pieces: Sequence[str]) -> str:
+        """Reassemble piece strings into text."""
+        return "".join(pieces)
+
+    def count(self, text: str) -> int:
+        """Number of tokens in ``text`` (whitespace pieces excluded).
+
+        This is the count used for cost/latency models: whitespace between
+        words is fused into neighbouring tokens by real BPE vocabularies, so
+        counting it separately would roughly double apparent token counts.
+        """
+        return sum(1 for piece in self.pieces(text) if not piece.isspace())
+
+    def content_tokens(self, text: str) -> List[str]:
+        """Lower-cased non-whitespace, non-punctuation pieces (for embeddings)."""
+        return [
+            piece.lower()
+            for piece in self.pieces(text)
+            if not piece.isspace() and any(ch.isalnum() for ch in piece)
+        ]
+
+
+_DEFAULT_TOKENIZER = Tokenizer()
+
+
+def default_tokenizer() -> Tokenizer:
+    """The process-wide default tokenizer instance."""
+    return _DEFAULT_TOKENIZER
+
+
+def count_tokens(text: str) -> int:
+    """Convenience: token count of ``text`` under the default tokenizer."""
+    return _DEFAULT_TOKENIZER.count(text)

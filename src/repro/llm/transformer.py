@@ -1,0 +1,300 @@
+"""A tiny numpy transformer with a real KV cache (§2.3.2 LLM Inference).
+
+The serving simulator models KV caching's *costs*; this module grounds its
+*correctness* assumptions in actual attention arithmetic. It is a small
+decoder-only transformer (deterministically initialized from a seed) whose
+forward pass supports every cache discipline the paper describes, all
+provably equivalent:
+
+* **full recompute** — attention over the whole prefix each step;
+* **incremental decode** — append one token's K/V to the cache and attend
+  (the KV-cache mechanism: "store these vectors to avoid repeated
+  calculation of key and value vectors");
+* **chunked prefill** — feed the prompt in chunks, carrying the cache
+  across chunks (Sarathi's correctness precondition);
+* **paged layout** — K/V stored in scattered fixed-size blocks and
+  gathered through a block table (vLLM's correctness precondition).
+
+Tests assert bit-level (1e-5) equality of logits across all four, which is
+precisely the invariant the cited systems rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import derive_rng
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def _layer_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture of the toy transformer."""
+
+    vocab_size: int = 256
+    dim: int = 32
+    num_heads: int = 4
+    num_layers: int = 2
+    max_seq_len: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads:
+            raise ConfigError("dim must be divisible by num_heads")
+        if min(self.vocab_size, self.dim, self.num_heads, self.num_layers) <= 0:
+            raise ConfigError("architecture dims must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.num_heads
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value tensors, shape (layers, seq, heads, head_dim)."""
+
+    keys: List[np.ndarray]
+    values: List[np.ndarray]
+
+    @classmethod
+    def empty(cls, config: TransformerConfig) -> "KVCache":
+        shape = (0, config.num_heads, config.head_dim)
+        return cls(
+            keys=[np.zeros(shape) for _ in range(config.num_layers)],
+            values=[np.zeros(shape) for _ in range(config.num_layers)],
+        )
+
+    @property
+    def seq_len(self) -> int:
+        return self.keys[0].shape[0]
+
+    def layer_keys(self, layer: int) -> np.ndarray:
+        return self.keys[layer]
+
+    def layer_values(self, layer: int) -> np.ndarray:
+        return self.values[layer]
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        self.keys[layer] = np.concatenate([self.keys[layer], k], axis=0)
+        self.values[layer] = np.concatenate([self.values[layer], v], axis=0)
+
+
+class TinyTransformer:
+    """Decoder-only transformer with deterministic random weights."""
+
+    def __init__(self, config: Optional[TransformerConfig] = None) -> None:
+        self.config = config or TransformerConfig()
+        cfg = self.config
+        rng = derive_rng(cfg.seed, "tiny-transformer")
+        scale = 1.0 / np.sqrt(cfg.dim)
+
+        def w(*shape):
+            return rng.standard_normal(shape) * scale
+
+        self.embedding = w(cfg.vocab_size, cfg.dim)
+        self.positional = w(cfg.max_seq_len, cfg.dim)
+        self.layers = []
+        for _ in range(cfg.num_layers):
+            self.layers.append(
+                {
+                    "wq": w(cfg.dim, cfg.dim),
+                    "wk": w(cfg.dim, cfg.dim),
+                    "wv": w(cfg.dim, cfg.dim),
+                    "wo": w(cfg.dim, cfg.dim),
+                    "w1": w(cfg.dim, 4 * cfg.dim),
+                    "w2": w(4 * cfg.dim, cfg.dim),
+                }
+            )
+        self.unembed = w(cfg.dim, cfg.vocab_size)
+
+    # ------------------------------------------------------------- forward
+    def _attend(
+        self,
+        layer: Dict[str, np.ndarray],
+        x: np.ndarray,
+        positions: np.ndarray,
+        cache: Optional[KVCache],
+        layer_index: int,
+    ) -> np.ndarray:
+        """Causal multi-head attention for ``x`` (new tokens only)."""
+        cfg = self.config
+        t_new = x.shape[0]
+        q = (x @ layer["wq"]).reshape(t_new, cfg.num_heads, cfg.head_dim)
+        k = (x @ layer["wk"]).reshape(t_new, cfg.num_heads, cfg.head_dim)
+        v = (x @ layer["wv"]).reshape(t_new, cfg.num_heads, cfg.head_dim)
+        if cache is not None:
+            cache.append(layer_index, k, v)
+            k_all = cache.layer_keys(layer_index)
+            v_all = cache.layer_values(layer_index)
+            past_len = k_all.shape[0] - t_new
+        else:
+            k_all, v_all = k, v
+            past_len = 0
+        t_total = k_all.shape[0]
+        # scores: (heads, t_new, t_total)
+        scores = np.einsum("qhd,khd->hqk", q, k_all) / np.sqrt(cfg.head_dim)
+        # Causal mask: new token i (global position past_len + i) may attend
+        # to keys with global index <= past_len + i.
+        key_idx = np.arange(t_total)[None, :]
+        query_idx = (past_len + np.arange(t_new))[:, None]
+        mask = key_idx > query_idx
+        scores = np.where(mask[None, :, :], -1e30, scores)
+        attn = _softmax(scores, axis=-1)
+        out = np.einsum("hqk,khd->qhd", attn, v_all).reshape(t_new, cfg.dim)
+        return out @ layer["wo"]
+
+    def forward(
+        self,
+        tokens: List[int],
+        *,
+        cache: Optional[KVCache] = None,
+        position_offset: int = 0,
+    ) -> np.ndarray:
+        """Logits for each position of ``tokens``.
+
+        With a ``cache``, ``tokens`` are *new* tokens appended after the
+        cached prefix; ``position_offset`` must equal the cache length.
+        """
+        cfg = self.config
+        if any(not 0 <= t < cfg.vocab_size for t in tokens):
+            raise ConfigError("token id out of range")
+        if position_offset + len(tokens) > cfg.max_seq_len:
+            raise ConfigError("sequence exceeds max_seq_len")
+        positions = np.arange(position_offset, position_offset + len(tokens))
+        x = self.embedding[tokens] + self.positional[positions]
+        for i, layer in enumerate(self.layers):
+            x = x + self._attend(layer, _layer_norm(x), positions, cache, i)
+            hidden = _layer_norm(x) @ layer["w1"]
+            x = x + np.maximum(hidden, 0.0) @ layer["w2"]
+        return _layer_norm(x) @ self.unembed
+
+    # ------------------------------------------------- cache disciplines
+    def logits_full_recompute(self, tokens: List[int]) -> np.ndarray:
+        """Attention over the whole sequence, no cache (the baseline)."""
+        return self.forward(tokens)
+
+    def logits_incremental(self, tokens: List[int]) -> np.ndarray:
+        """One token at a time through a KV cache."""
+        cache = KVCache.empty(self.config)
+        rows = []
+        for i, token in enumerate(tokens):
+            rows.append(self.forward([token], cache=cache, position_offset=i)[0])
+        return np.stack(rows)
+
+    def logits_chunked(self, tokens: List[int], chunk: int) -> np.ndarray:
+        """Prompt fed in ``chunk``-sized pieces through one cache."""
+        if chunk <= 0:
+            raise ConfigError("chunk must be positive")
+        cache = KVCache.empty(self.config)
+        rows = []
+        for start in range(0, len(tokens), chunk):
+            piece = tokens[start : start + chunk]
+            rows.append(self.forward(piece, cache=cache, position_offset=start))
+        return np.concatenate(rows, axis=0)
+
+    def generate_greedy(
+        self, prompt: List[int], *, max_new_tokens: int = 8
+    ) -> List[int]:
+        """Greedy decoding with an incremental KV cache."""
+        cache = KVCache.empty(self.config)
+        logits = self.forward(prompt, cache=cache)
+        out = list(prompt)
+        for _ in range(max_new_tokens):
+            nxt = int(np.argmax(logits[-1]))
+            out.append(nxt)
+            if len(out) >= self.config.max_seq_len:
+                break
+            logits = self.forward([nxt], cache=cache, position_offset=len(out) - 1)
+        return out
+
+
+class PagedKVCache(KVCache):
+    """KV cache stored in scattered fixed-size blocks + a block table.
+
+    Mirrors vLLM's memory layout: logically contiguous (seq, heads, dim)
+    tensors live physically in non-contiguous blocks; reads gather through
+    the block table. Functionally identical to :class:`KVCache` (asserted
+    by tests), while exposing the block bookkeeping the simulator models.
+    """
+
+    def __init__(self, config: TransformerConfig, *, block_size: int = 16,
+                 num_blocks: int = 256) -> None:
+        self.config_ref = config
+        self.block_size = block_size
+        shape = (num_blocks, block_size, config.num_heads, config.head_dim)
+        # Physical block pools per layer; one block table shared by layers.
+        self._k_pool = [np.zeros(shape) for _ in range(config.num_layers)]
+        self._v_pool = [np.zeros(shape) for _ in range(config.num_layers)]
+        self._block_table: List[int] = []
+        self._free = list(range(num_blocks - 1, -1, -1))
+        self._lens = [0] * config.num_layers
+
+    # KVCache interface -------------------------------------------------
+    @property
+    def seq_len(self) -> int:
+        return min(self._lens)
+
+    def layer_keys(self, layer: int) -> np.ndarray:
+        return self._gather(self._k_pool[layer], self._lens[layer])
+
+    def layer_values(self, layer: int) -> np.ndarray:
+        return self._gather(self._v_pool[layer], self._lens[layer])
+
+    @property
+    def keys(self) -> List[np.ndarray]:  # type: ignore[override]
+        return [self.layer_keys(i) for i in range(self.config_ref.num_layers)]
+
+    @keys.setter
+    def keys(self, value) -> None:  # pragma: no cover - interface shim
+        raise ConfigError("paged cache keys are read-only views")
+
+    @property
+    def values(self) -> List[np.ndarray]:  # type: ignore[override]
+        return [self.layer_values(i) for i in range(self.config_ref.num_layers)]
+
+    @values.setter
+    def values(self, value) -> None:  # pragma: no cover - interface shim
+        raise ConfigError("paged cache values are read-only views")
+
+    def _gather(self, pool: np.ndarray, length: int) -> np.ndarray:
+        if not self._block_table:
+            return np.zeros((0, self.config_ref.num_heads, self.config_ref.head_dim))
+        stacked = pool[self._block_table].reshape(
+            -1, self.config_ref.num_heads, self.config_ref.head_dim
+        )
+        return stacked[:length]
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        # The first layer to reach a position drives block allocation; the
+        # table is shared across layers (positions align by construction).
+        write_pos = self._lens[layer]
+        for i in range(k.shape[0]):
+            pos = write_pos + i
+            block_index = pos // self.block_size
+            if block_index >= len(self._block_table):
+                if not self._free:
+                    raise ConfigError("paged cache out of blocks")
+                self._block_table.append(self._free.pop())
+            physical = self._block_table[block_index]
+            offset = pos % self.block_size
+            self._k_pool[layer][physical, offset] = k[i]
+            self._v_pool[layer][physical, offset] = v[i]
+        self._lens[layer] += k.shape[0]
+
+    def block_count(self) -> int:
+        return len(self._block_table)

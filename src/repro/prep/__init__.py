@@ -1,0 +1,64 @@
+"""Data preparation for LLMs: discovery, selection, cleaning, dedup,
+augmentation, labeling, synthesis, pipelines (paper §2.3.2)."""
+
+from .augmentation import Augmenter, distinct_ngrams, diversity_score, link_documents, sentence_shuffle, synonym_replace, token_dropout
+from .cleaning import (
+    FilterDecision,
+    PerplexityFilter,
+    QualityClassifier,
+    RuleBasedQualityFilter,
+    ToxicityFilter,
+    filter_metrics,
+    text_features,
+)
+from .dedup import DedupResult, ExactDeduper, MinHashDeduper, dedup_metrics, jaccard, line_dedup, shingles
+from .discovery import (
+    DSIRMixer,
+    GradientMixer,
+    MixtureEvaluation,
+    MixtureEvaluator,
+    empirical_mixture,
+    heuristic_mixture,
+    normalize_mixture,
+    sample_by_mixture,
+)
+from .instruction import (
+    InstructionGenerator,
+    PreferencePair,
+    PreferencePairBuilder,
+    RewardModel,
+    SFTPair,
+    filter_sft_pairs,
+)
+from .labeling import ActiveLearner, ActiveLearningRound, CentroidClassifier, model_label
+from .llm_loop import AssistedFilterStats, LLMAssistedFilter, LLMPrepSystem
+from .pipeline import PipelineReport, PrepPipeline, StageReport, standard_pipeline
+from .selection import (
+    cluster_coreset,
+    embed_docs,
+    kcenter_coreset,
+    perplexity_selection,
+    random_selection,
+    selection_quality,
+    target_similarity_selection,
+)
+from .synthesis import MarkovSynthesizer, TabularSynthesizer, TemplateSynthesizer, fidelity_report
+
+__all__ = [
+    "Augmenter", "distinct_ngrams", "diversity_score", "link_documents", "sentence_shuffle",
+    "synonym_replace", "token_dropout",
+    "FilterDecision", "PerplexityFilter", "QualityClassifier",
+    "RuleBasedQualityFilter", "ToxicityFilter", "filter_metrics", "text_features",
+    "DedupResult", "ExactDeduper", "MinHashDeduper", "dedup_metrics", "jaccard",
+    "line_dedup", "shingles",
+    "DSIRMixer", "GradientMixer", "MixtureEvaluation", "MixtureEvaluator",
+    "empirical_mixture", "heuristic_mixture", "normalize_mixture", "sample_by_mixture",
+    "InstructionGenerator", "PreferencePair", "PreferencePairBuilder",
+    "RewardModel", "SFTPair", "filter_sft_pairs",
+    "ActiveLearner", "ActiveLearningRound", "CentroidClassifier", "model_label",
+    "AssistedFilterStats", "LLMAssistedFilter", "LLMPrepSystem",
+    "PipelineReport", "PrepPipeline", "StageReport", "standard_pipeline",
+    "cluster_coreset", "embed_docs", "kcenter_coreset", "perplexity_selection",
+    "random_selection", "selection_quality", "target_similarity_selection",
+    "MarkovSynthesizer", "TabularSynthesizer", "TemplateSynthesizer", "fidelity_report",
+]

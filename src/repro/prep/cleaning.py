@@ -1,0 +1,260 @@
+"""Data cleaning: quality filtering and toxicity filtering (§2.3.2).
+
+Three quality-filter families the tutorial lists, all with the same
+interface (``keep(doc) -> bool`` plus a reason):
+
+* :class:`RuleBasedQualityFilter` — Gopher/C4-style heuristics [41, 46]:
+  word-length bounds, alphabetic ratio, repetition ratio, stopword
+  presence;
+* :class:`PerplexityFilter` — metric-threshold filtering [39] under a
+  reference language model;
+* :class:`QualityClassifier` — a small logistic-regression classifier over
+  text features, trained on labelled seed docs [10, 62].
+
+Plus :class:`ToxicityFilter` — lexicon + hashed-ngram filtering [30, 46].
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.ngram import NGramLM
+from ..data.synth import TOXIC_MARKERS, TrainingDocument
+from ..errors import ConfigError
+from ..llm.tokenizer import default_tokenizer
+from ..rag.chunking import split_sentences
+
+_STOPWORDS = {"the", "a", "this", "that", "and", "of", "in", "to", "is", "every", "another"}
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Keep/drop verdict with the firing rule."""
+
+    keep: bool
+    reason: str = ""
+
+
+def text_features(text: str) -> Dict[str, float]:
+    """Quality-correlated features shared by rules and the classifier."""
+    tokens = default_tokenizer().content_tokens(text)
+    if not tokens:
+        return {
+            "mean_word_len": 0.0,
+            "alpha_ratio": 0.0,
+            "stopword_ratio": 0.0,
+            "repetition_ratio": 1.0,
+            "char_entropy": 0.0,
+            "distinct_ratio": 0.0,
+        }
+    mean_len = sum(len(t) for t in tokens) / len(tokens)
+    alpha = sum(1 for t in tokens if t.isalpha()) / len(tokens)
+    stop = sum(1 for t in tokens if t in _STOPWORDS) / len(tokens)
+    sentences = [s.strip().lower() for s in split_sentences(text)]
+    most_common = Counter(sentences).most_common(1)
+    repetition = most_common[0][1] / len(sentences) if sentences else 1.0
+    chars = Counter(text.lower())
+    total_chars = sum(chars.values())
+    entropy = -sum(
+        (c / total_chars) * math.log2(c / total_chars) for c in chars.values()
+    )
+    distinct = len(set(tokens)) / len(tokens)
+    return {
+        "mean_word_len": mean_len,
+        "alpha_ratio": alpha,
+        "stopword_ratio": stop,
+        "repetition_ratio": repetition,
+        "char_entropy": entropy,
+        "distinct_ratio": distinct,
+    }
+
+
+class RuleBasedQualityFilter:
+    """Heuristic quality rules; a document failing any rule is dropped."""
+
+    def __init__(
+        self,
+        *,
+        min_mean_word_len: float = 2.5,
+        max_mean_word_len: float = 12.0,
+        min_alpha_ratio: float = 0.7,
+        min_stopword_ratio: float = 0.03,
+        max_repetition_ratio: float = 0.3,
+    ) -> None:
+        self.min_mean_word_len = min_mean_word_len
+        self.max_mean_word_len = max_mean_word_len
+        self.min_alpha_ratio = min_alpha_ratio
+        self.min_stopword_ratio = min_stopword_ratio
+        self.max_repetition_ratio = max_repetition_ratio
+
+    def decide(self, doc: TrainingDocument) -> FilterDecision:
+        f = text_features(doc.text)
+        if not self.min_mean_word_len <= f["mean_word_len"] <= self.max_mean_word_len:
+            return FilterDecision(False, "word-length")
+        if f["alpha_ratio"] < self.min_alpha_ratio:
+            return FilterDecision(False, "alpha-ratio")
+        if f["stopword_ratio"] < self.min_stopword_ratio:
+            return FilterDecision(False, "stopwords")
+        if f["repetition_ratio"] > self.max_repetition_ratio:
+            return FilterDecision(False, "repetition")
+        return FilterDecision(True)
+
+    def filter(self, docs: Sequence[TrainingDocument]) -> Tuple[List[TrainingDocument], List[TrainingDocument]]:
+        kept, dropped = [], []
+        for doc in docs:
+            (kept if self.decide(doc).keep else dropped).append(doc)
+        return kept, dropped
+
+
+class PerplexityFilter:
+    """Drop documents whose perplexity under a reference LM exceeds a cut.
+
+    The reference LM should be fit on known-good text (e.g. the builder's
+    clean eval set), mirroring the CCNet/KenLM practice.
+    """
+
+    def __init__(self, reference_lm: NGramLM, *, max_perplexity: float) -> None:
+        if max_perplexity <= 1.0:
+            raise ConfigError("max_perplexity must exceed 1.0")
+        self.reference_lm = reference_lm
+        self.max_perplexity = max_perplexity
+
+    def decide(self, doc: TrainingDocument) -> FilterDecision:
+        ppl = self.reference_lm.perplexity(doc.text)
+        if ppl > self.max_perplexity:
+            return FilterDecision(False, f"perplexity={ppl:.0f}")
+        return FilterDecision(True)
+
+    def filter(self, docs: Sequence[TrainingDocument]) -> Tuple[List[TrainingDocument], List[TrainingDocument]]:
+        kept, dropped = [], []
+        for doc in docs:
+            (kept if self.decide(doc).keep else dropped).append(doc)
+        return kept, dropped
+
+
+_FEATURE_ORDER = [
+    "mean_word_len",
+    "alpha_ratio",
+    "stopword_ratio",
+    "repetition_ratio",
+    "char_entropy",
+    "distinct_ratio",
+]
+
+
+class QualityClassifier:
+    """Logistic regression over :func:`text_features` (numpy, full-batch GD)."""
+
+    def __init__(self, *, lr: float = 0.5, epochs: int = 300, seed: int = 0) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.seed = seed
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _matrix(self, docs: Sequence[TrainingDocument]) -> np.ndarray:
+        rows = []
+        for doc in docs:
+            f = text_features(doc.text)
+            rows.append([f[name] for name in _FEATURE_ORDER])
+        return np.asarray(rows, dtype=np.float64)
+
+    def fit(
+        self, docs: Sequence[TrainingDocument], labels: Sequence[bool]
+    ) -> "QualityClassifier":
+        """Train on (doc, is_high_quality) pairs."""
+        if len(docs) != len(labels) or not docs:
+            raise ConfigError("fit needs equal non-empty docs and labels")
+        x = self._matrix(docs)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        x = (x - self._mean) / self._std
+        x = np.hstack([x, np.ones((x.shape[0], 1))])
+        y = np.asarray(labels, dtype=np.float64)
+        w = np.zeros(x.shape[1])
+        for _ in range(self.epochs):
+            p = 1.0 / (1.0 + np.exp(-(x @ w)))
+            w -= self.lr * (x.T @ (p - y)) / len(y)
+        self._weights = w
+        return self
+
+    def score(self, doc: TrainingDocument) -> float:
+        """P(high quality)."""
+        if self._weights is None:
+            raise ConfigError("classifier not fitted")
+        f = text_features(doc.text)
+        x = np.asarray([f[name] for name in _FEATURE_ORDER], dtype=np.float64)
+        x = (x - self._mean) / self._std
+        x = np.append(x, 1.0)
+        return float(1.0 / (1.0 + np.exp(-(x @ self._weights))))
+
+    def decide(self, doc: TrainingDocument, *, threshold: float = 0.5) -> FilterDecision:
+        score = self.score(doc)
+        if score < threshold:
+            return FilterDecision(False, f"classifier={score:.2f}")
+        return FilterDecision(True)
+
+    def filter(
+        self, docs: Sequence[TrainingDocument], *, threshold: float = 0.5
+    ) -> Tuple[List[TrainingDocument], List[TrainingDocument]]:
+        kept, dropped = [], []
+        for doc in docs:
+            (kept if self.decide(doc, threshold=threshold).keep else dropped).append(doc)
+        return kept, dropped
+
+
+class ToxicityFilter:
+    """Lexicon-based toxicity filter (Perspective-style marker matching)."""
+
+    def __init__(self, lexicon: Optional[Sequence[str]] = None) -> None:
+        self.lexicon = sorted({w.lower() for w in (lexicon or TOXIC_MARKERS)})
+
+    def decide(self, doc: TrainingDocument) -> FilterDecision:
+        # Substring matching: subword tokenization can split long marker
+        # words, so token-set matching would silently miss them.
+        lowered = doc.text.lower()
+        for marker in self.lexicon:
+            if marker in lowered:
+                return FilterDecision(False, f"toxic:{marker}")
+        return FilterDecision(True)
+
+    def filter(self, docs: Sequence[TrainingDocument]) -> Tuple[List[TrainingDocument], List[TrainingDocument]]:
+        kept, dropped = [], []
+        for doc in docs:
+            (kept if self.decide(doc).keep else dropped).append(doc)
+        return kept, dropped
+
+
+def filter_metrics(
+    docs: Sequence[TrainingDocument],
+    kept: Sequence[TrainingDocument],
+    *,
+    target: str = "low_quality",
+) -> Dict[str, float]:
+    """Precision/recall of a filter at removing the targeted defect.
+
+    ``target``: ``"low_quality"`` (non-clean quality label) or ``"toxic"``.
+    """
+    kept_ids = {d.doc_id for d in kept}
+    removed = [d for d in docs if d.doc_id not in kept_ids]
+
+    def is_bad(d: TrainingDocument) -> bool:
+        if target == "toxic":
+            return d.is_toxic
+        return d.quality != "clean"
+
+    bad_total = sum(1 for d in docs if is_bad(d))
+    if not removed:
+        return {"precision": 1.0 if bad_total == 0 else 0.0, "recall": 0.0 if bad_total else 1.0}
+    tp = sum(1 for d in removed if is_bad(d))
+    return {
+        "precision": tp / len(removed),
+        "recall": tp / bad_total if bad_total else 1.0,
+    }

@@ -1,0 +1,269 @@
+"""Deduplication: exact-document, line-level, and MinHash-LSH near-dup.
+
+Implements the dedup toolbox of §2.3.2 [24, 29, 46, 52]:
+
+* :class:`ExactDeduper` — content-hash exact document dedup;
+* :func:`line_dedup` — line/sentence-level dedup (LLaMA-style): sentences
+  occurring more than ``max_occurrences`` times across the corpus are
+  stripped everywhere (kills boilerplate and degenerate repetition);
+* :class:`MinHashDeduper` — document-level near-duplicate detection:
+  n-gram shingles → MinHash signatures → LSH banding → candidate pairs →
+  exact-Jaccard verification → union-find clustering, keeping one
+  representative per cluster.
+
+Detection quality is measurable against the corpus generator's
+``dup_group`` ground truth via :func:`dedup_metrics`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..llm.tokenizer import default_tokenizer
+from ..rag.chunking import split_sentences
+from ..utils import derive_rng, stable_hash
+
+_MERSENNE = (1 << 61) - 1
+
+
+def shingles(text: str, n: int = 3) -> Set[int]:
+    """Hashed token n-gram shingle set of a document."""
+    tokens = default_tokenizer().content_tokens(text)
+    if len(tokens) < n:
+        return {stable_hash(" ".join(tokens))} if tokens else set()
+    return {
+        stable_hash(" ".join(tokens[i : i + n])) % _MERSENNE
+        for i in range(len(tokens) - n + 1)
+    }
+
+
+def jaccard(a: Set[int], b: Set[int]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+class _UnionFind:
+    """Path-compressed union-find over arbitrary hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self._parent.setdefault(x, x)
+        if parent != x:
+            self._parent[x] = self.find(parent)
+        return self._parent[x]
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+@dataclass
+class DedupResult:
+    """Kept documents plus the detected duplicate structure."""
+
+    kept: List[TrainingDocument]
+    removed: List[TrainingDocument]
+    clusters: List[List[int]] = field(default_factory=list)  # indices into input
+    candidate_pairs: int = 0
+    verified_pairs: int = 0
+
+    @property
+    def removed_fraction(self) -> float:
+        total = len(self.kept) + len(self.removed)
+        return len(self.removed) / total if total else 0.0
+
+
+class ExactDeduper:
+    """Keep the first document of each exact (normalized) text."""
+
+    def dedup(self, docs: Sequence[TrainingDocument]) -> DedupResult:
+        seen: Dict[int, int] = {}
+        kept: List[TrainingDocument] = []
+        removed: List[TrainingDocument] = []
+        clusters: Dict[int, List[int]] = defaultdict(list)
+        for i, doc in enumerate(docs):
+            key = stable_hash(" ".join(doc.text.split()).lower())
+            if key in seen:
+                removed.append(doc)
+            else:
+                seen[key] = i
+                kept.append(doc)
+            clusters[key].append(i)
+        return DedupResult(
+            kept=kept,
+            removed=removed,
+            clusters=[ids for ids in clusters.values() if len(ids) > 1],
+        )
+
+
+def line_dedup(
+    docs: Sequence[TrainingDocument], *, max_occurrences: int = 2
+) -> Tuple[List[TrainingDocument], int]:
+    """Strip sentences that repeat more than ``max_occurrences`` times corpus-wide.
+
+    Returns (rewritten documents, sentences removed). Documents reduced to
+    nothing are dropped entirely.
+    """
+    if max_occurrences < 1:
+        raise ConfigError("max_occurrences must be >= 1")
+    counts: Counter = Counter()
+    doc_sentences: List[List[str]] = []
+    for doc in docs:
+        sentences = split_sentences(doc.text)
+        doc_sentences.append(sentences)
+        normalized = {s.strip().lower() for s in sentences}
+        for s in normalized:
+            counts[s] += 1
+    banned = {s for s, c in counts.items() if c > max_occurrences}
+    out: List[TrainingDocument] = []
+    removed_sentences = 0
+    for doc, sentences in zip(docs, doc_sentences):
+        kept_sentences = []
+        seen_local: Set[str] = set()
+        for s in sentences:
+            key = s.strip().lower()
+            if key in banned or key in seen_local:
+                removed_sentences += 1
+                continue
+            seen_local.add(key)
+            kept_sentences.append(s)
+        if kept_sentences:
+            out.append(
+                TrainingDocument(
+                    doc_id=doc.doc_id,
+                    text=" ".join(kept_sentences),
+                    domain=doc.domain,
+                    quality=doc.quality,
+                    is_toxic=doc.is_toxic,
+                    dup_group=doc.dup_group,
+                    is_duplicate=doc.is_duplicate,
+                )
+            )
+    return out, removed_sentences
+
+
+class MinHashDeduper:
+    """MinHash + LSH near-duplicate document detection.
+
+    Parameters
+    ----------
+    num_permutations:
+        Signature length; must equal ``bands * rows_per_band``.
+    bands / rows_per_band:
+        LSH banding; the detection threshold is roughly
+        ``(1/bands) ** (1/rows_per_band)``.
+    shingle_size:
+        Token n-gram size for shingling.
+    verify_threshold:
+        Candidate pairs below this exact Jaccard are rejected.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_permutations: int = 64,
+        bands: int = 16,
+        rows_per_band: int = 4,
+        shingle_size: int = 3,
+        verify_threshold: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        if bands * rows_per_band != num_permutations:
+            raise ConfigError("bands * rows_per_band must equal num_permutations")
+        self.num_permutations = num_permutations
+        self.bands = bands
+        self.rows_per_band = rows_per_band
+        self.shingle_size = shingle_size
+        self.verify_threshold = verify_threshold
+        rng = derive_rng(seed, "minhash")
+        self._a = rng.integers(1, _MERSENNE, size=num_permutations, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE, size=num_permutations, dtype=np.int64)
+
+    def signature(self, shingle_set: Set[int]) -> np.ndarray:
+        """MinHash signature of one shingle set."""
+        if not shingle_set:
+            return np.full(self.num_permutations, _MERSENNE, dtype=np.int64)
+        values = np.fromiter(shingle_set, dtype=np.int64)
+        # (P, S) permuted hash values; min over shingles per permutation.
+        hashed = (self._a[:, None] * values[None, :] + self._b[:, None]) % _MERSENNE
+        return hashed.min(axis=1)
+
+    def estimated_threshold(self) -> float:
+        """The S-curve midpoint of the banding scheme."""
+        return float((1.0 / self.bands) ** (1.0 / self.rows_per_band))
+
+    def dedup(self, docs: Sequence[TrainingDocument]) -> DedupResult:
+        shingle_sets = [shingles(d.text, self.shingle_size) for d in docs]
+        signatures = [self.signature(s) for s in shingle_sets]
+        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for i, sig in enumerate(signatures):
+            for band in range(self.bands):
+                lo = band * self.rows_per_band
+                key = stable_hash(
+                    f"{band}:" + ",".join(map(str, sig[lo : lo + self.rows_per_band]))
+                )
+                buckets[(band, key)].append(i)
+        uf = _UnionFind()
+        candidate_pairs = 0
+        verified_pairs = 0
+        checked: Set[Tuple[int, int]] = set()
+        for ids in buckets.values():
+            if len(ids) < 2:
+                continue
+            for x in range(len(ids)):
+                for y in range(x + 1, len(ids)):
+                    pair = (min(ids[x], ids[y]), max(ids[x], ids[y]))
+                    if pair in checked:
+                        continue
+                    checked.add(pair)
+                    candidate_pairs += 1
+                    if jaccard(shingle_sets[pair[0]], shingle_sets[pair[1]]) >= self.verify_threshold:
+                        verified_pairs += 1
+                        uf.union(pair[0], pair[1])
+        clusters: Dict[int, List[int]] = defaultdict(list)
+        for i in range(len(docs)):
+            clusters[uf.find(i)].append(i)
+        kept: List[TrainingDocument] = []
+        removed: List[TrainingDocument] = []
+        for root, members in clusters.items():
+            members.sort()
+            kept.append(docs[members[0]])
+            removed.extend(docs[m] for m in members[1:])
+        kept.sort(key=lambda d: d.doc_id)
+        return DedupResult(
+            kept=kept,
+            removed=removed,
+            clusters=[m for m in clusters.values() if len(m) > 1],
+            candidate_pairs=candidate_pairs,
+            verified_pairs=verified_pairs,
+        )
+
+
+def dedup_metrics(
+    docs: Sequence[TrainingDocument], result: DedupResult
+) -> Dict[str, float]:
+    """Precision/recall of duplicate detection against ground truth.
+
+    A removed document is a true positive iff it belongs to a ``dup_group``
+    (the generator marked it as having copies).
+    """
+    removed_ids = {d.doc_id for d in result.removed}
+    true_dups = {d.doc_id for d in docs if d.is_duplicate}
+    if not removed_ids:
+        return {"precision": 1.0 if not true_dups else 0.0, "recall": 0.0}
+    tp = len(removed_ids & true_dups)
+    precision = tp / len(removed_ids)
+    recall = tp / len(true_dups) if true_dups else 1.0
+    return {"precision": precision, "recall": recall}

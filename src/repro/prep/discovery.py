@@ -1,0 +1,229 @@
+"""Data discovery: finding the right domain mixture for pretraining (§2.3.2).
+
+Three mixture-setting strategies from the tutorial's citations:
+
+* :func:`heuristic_mixture` — hand-set weights (GLaM/Pile practice [16, 20]);
+* :class:`DSIRMixer` — importance resampling [64]: weight candidate
+  documents by the likelihood ratio of target vs. source n-gram models and
+  resample; the induced domain histogram is the discovered mixture;
+* :class:`GradientMixer` — DOGE-flavoured [18]: multiplicative-weights
+  updates where each domain's "gradient" is its held-out contribution
+  (how much a proxy trained with the domain upweighted improves target
+  perplexity).
+
+:class:`MixtureEvaluator` trains the n-gram proxy under a mixture and
+reports target perplexity, the downstream metric (Data-Juicer's evaluation
+loop [13]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.ngram import NGramLM
+from ..data.synth import DOMAINS, TrainingDocument
+from ..errors import ConfigError
+from ..utils import derive_rng
+
+Mixture = Dict[str, float]
+
+
+def normalize_mixture(weights: Mixture) -> Mixture:
+    """Normalize weights to sum to 1 (dropping non-positive entries)."""
+    positive = {k: v for k, v in weights.items() if v > 0}
+    total = sum(positive.values())
+    if total <= 0:
+        raise ConfigError("mixture must contain positive weights")
+    return {k: v / total for k, v in sorted(positive.items())}
+
+
+def heuristic_mixture(**weights: float) -> Mixture:
+    """Hand-set mixture, normalized (the experimental-intuition baseline)."""
+    return normalize_mixture(dict(weights))
+
+
+def empirical_mixture(docs: Sequence[TrainingDocument]) -> Mixture:
+    """The corpus's natural domain histogram ("no discovery" baseline)."""
+    counts: Dict[str, float] = {}
+    for doc in docs:
+        counts[doc.domain] = counts.get(doc.domain, 0.0) + 1.0
+    return normalize_mixture(counts)
+
+
+def sample_by_mixture(
+    docs: Sequence[TrainingDocument],
+    mixture: Mixture,
+    budget: int,
+    *,
+    seed: int = 0,
+) -> List[int]:
+    """Draw a ``budget``-sized subset matching the domain mixture."""
+    if budget <= 0:
+        raise ConfigError("budget must be positive")
+    mixture = normalize_mixture(mixture)
+    rng = derive_rng(seed, "mixture-sample")
+    by_domain: Dict[str, List[int]] = {}
+    for i, doc in enumerate(docs):
+        by_domain.setdefault(doc.domain, []).append(i)
+    selected: List[int] = []
+    for domain, weight in mixture.items():
+        pool = by_domain.get(domain, [])
+        if not pool:
+            continue
+        want = int(round(budget * weight))
+        take = min(want, len(pool))
+        picks = rng.permutation(len(pool))[:take]
+        selected.extend(pool[int(p)] for p in picks)
+    return sorted(selected)
+
+
+class DSIRMixer:
+    """Data Selection with Importance Resampling [64].
+
+    Fits target and source n-gram models; each candidate document gets an
+    importance weight ``exp(log p_target(x) - log p_source(x))`` (per
+    token). Resampling by those weights yields both a document selection
+    and — via the selected documents' domain histogram — a discovered
+    mixture.
+    """
+
+    def __init__(self, *, order: int = 1, seed: int = 0) -> None:
+        self.order = order
+        self.seed = seed
+        self._target_lm: Optional[NGramLM] = None
+        self._source_lm: Optional[NGramLM] = None
+
+    def fit(
+        self, source_docs: Sequence[TrainingDocument], target_texts: Sequence[str]
+    ) -> "DSIRMixer":
+        self._target_lm = NGramLM(order=self.order, interpolation=(1.0,) * self.order).fit(
+            target_texts
+        )
+        self._source_lm = NGramLM(order=self.order, interpolation=(1.0,) * self.order).fit(
+            d.text for d in source_docs
+        )
+        return self
+
+    def log_importance(self, text: str) -> float:
+        """Per-token log importance weight of one document."""
+        if self._target_lm is None or self._source_lm is None:
+            raise ConfigError("DSIRMixer not fitted")
+        tokens = max(
+            len(self._target_lm.tokenizer.content_tokens(text)), 1
+        )
+        return (
+            self._target_lm.logprob(text) - self._source_lm.logprob(text)
+        ) / tokens
+
+    def resample(
+        self, docs: Sequence[TrainingDocument], budget: int
+    ) -> List[int]:
+        """Gumbel-top-k resampling by importance weight."""
+        if budget <= 0:
+            raise ConfigError("budget must be positive")
+        rng = derive_rng(self.seed, "dsir")
+        log_w = np.array([self.log_importance(d.text) for d in docs])
+        gumbel = -np.log(-np.log(rng.random(len(docs)) + 1e-12) + 1e-12)
+        keys = log_w + gumbel
+        order = np.argsort(-keys)[: min(budget, len(docs))]
+        return sorted(int(i) for i in order)
+
+    def discovered_mixture(
+        self, docs: Sequence[TrainingDocument], budget: int
+    ) -> Mixture:
+        selected = self.resample(docs, budget)
+        return empirical_mixture([docs[i] for i in selected])
+
+
+class GradientMixer:
+    """Multiplicative-weights domain reweighting (DOGE-flavoured [18]).
+
+    Iteratively: train a per-domain proxy, measure each domain's marginal
+    utility on the target set (negative perplexity), and update domain
+    weights multiplicatively toward useful domains.
+    """
+
+    def __init__(
+        self,
+        *,
+        rounds: int = 3,
+        learning_rate: float = 1.0,
+        order: int = 2,
+    ) -> None:
+        self.rounds = rounds
+        self.learning_rate = learning_rate
+        self.order = order
+
+    def discover(
+        self,
+        docs: Sequence[TrainingDocument],
+        target_texts: Sequence[str],
+        *,
+        domains: Sequence[str] = DOMAINS,
+    ) -> Mixture:
+        by_domain: Dict[str, List[TrainingDocument]] = {d: [] for d in domains}
+        for doc in docs:
+            if doc.domain in by_domain:
+                by_domain[doc.domain].append(doc)
+        # Per-domain proxies are mixture-independent; fit once.
+        domain_ppl: Dict[str, float] = {}
+        for domain, members in by_domain.items():
+            if not members:
+                domain_ppl[domain] = float("inf")
+                continue
+            lm = NGramLM(order=self.order).fit(d.text for d in members)
+            domain_ppl[domain] = lm.corpus_perplexity(list(target_texts))
+        weights = {d: 1.0 for d in domains if by_domain[d]}
+        finite = [p for p in domain_ppl.values() if math.isfinite(p)]
+        scale = max(np.mean(finite), 1e-9) if finite else 1.0
+        for _ in range(self.rounds):
+            for domain in weights:
+                utility = -domain_ppl[domain] / scale  # higher = more useful
+                weights[domain] *= math.exp(self.learning_rate * utility)
+            weights = dict(normalize_mixture(weights))
+        return normalize_mixture(weights)
+
+
+@dataclass
+class MixtureEvaluation:
+    """Result of training the proxy under one mixture."""
+
+    mixture: Mixture
+    target_perplexity: float
+    docs_used: int
+
+
+class MixtureEvaluator:
+    """Data-Juicer-style loop: mixture -> sample -> train proxy -> evaluate."""
+
+    def __init__(
+        self,
+        docs: Sequence[TrainingDocument],
+        target_texts: Sequence[str],
+        *,
+        budget: int = 200,
+        order: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.docs = list(docs)
+        self.target_texts = list(target_texts)
+        self.budget = budget
+        self.order = order
+        self.seed = seed
+
+    def evaluate(self, mixture: Mixture) -> MixtureEvaluation:
+        selected = sample_by_mixture(self.docs, mixture, self.budget, seed=self.seed)
+        lm = NGramLM(order=self.order).fit(self.docs[i].text for i in selected)
+        return MixtureEvaluation(
+            mixture=normalize_mixture(mixture),
+            target_perplexity=lm.corpus_perplexity(self.target_texts),
+            docs_used=len(selected),
+        )
+
+    def compare(self, mixtures: Dict[str, Mixture]) -> Dict[str, MixtureEvaluation]:
+        """Evaluate several named mixtures under the same budget."""
+        return {name: self.evaluate(mix) for name, mix in mixtures.items()}

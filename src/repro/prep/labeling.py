@@ -1,0 +1,195 @@
+"""Data labeling: annotate documents for supervised use (§2.3.2).
+
+The tutorial lists crowdsourcing, weak supervision, model-based labelling,
+transfer learning, and active learning. Implemented:
+
+* :func:`model_label` — LLM-as-annotator via the ``label`` skill;
+* :class:`CentroidClassifier` — the cheap student model (nearest class
+  centroid in embedding space) that labelled data trains;
+* :class:`ActiveLearner` — uncertainty-sampling loop: iteratively spend an
+  oracle budget on the documents the student is least sure about
+  (margin-based), retraining after each batch — vs. spending the same
+  budget at random;
+* weak supervision is shared with
+  :class:`repro.unstructured.weak_supervision.LabelModel` (labelling
+  functions over documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from ..utils import derive_rng
+
+Oracle = Callable[[TrainingDocument], str]
+
+
+def model_label(
+    docs: Sequence[TrainingDocument],
+    classes: Sequence[str],
+    llm: SimLLM,
+) -> List[str]:
+    """LLM-annotator: one ``label`` call per document."""
+    if not classes:
+        raise ConfigError("classes must be non-empty")
+    labels = []
+    for doc in docs:
+        prompt = Prompt(
+            task="label",
+            instruction="Classify the document into one of the classes.",
+            input=doc.text[:500],
+            fields={"classes": " | ".join(classes)},
+        )
+        labels.append(llm.generate(prompt.render(), tag="label").text.strip())
+    return labels
+
+
+class CentroidClassifier:
+    """Nearest-class-centroid classifier in embedding space."""
+
+    def __init__(self, embedder: Optional[EmbeddingModel] = None) -> None:
+        self.embedder = embedder or EmbeddingModel()
+        self._centroids: Dict[str, np.ndarray] = {}
+
+    def fit(
+        self, docs: Sequence[TrainingDocument], labels: Sequence[str]
+    ) -> "CentroidClassifier":
+        if len(docs) != len(labels) or not docs:
+            raise ConfigError("fit needs equal, non-empty docs and labels")
+        by_class: Dict[str, List[np.ndarray]] = {}
+        for doc, label in zip(docs, labels):
+            by_class.setdefault(label, []).append(self.embedder.embed(doc.text))
+        self._centroids = {}
+        for label, vectors in by_class.items():
+            centroid = np.mean(vectors, axis=0)
+            norm = np.linalg.norm(centroid)
+            self._centroids[label] = centroid / norm if norm > 0 else centroid
+        return self
+
+    def partial_fit(self, doc: TrainingDocument, label: str) -> None:
+        """Cheap incremental update (running mean, renormalized)."""
+        vec = self.embedder.embed(doc.text)
+        if label in self._centroids:
+            updated = self._centroids[label] + vec
+            norm = np.linalg.norm(updated)
+            self._centroids[label] = updated / norm if norm > 0 else updated
+        else:
+            self._centroids[label] = vec
+
+    def scores(self, doc: TrainingDocument) -> Dict[str, float]:
+        if not self._centroids:
+            raise ConfigError("classifier not fitted")
+        vec = self.embedder.embed(doc.text)
+        return {
+            label: float(np.dot(vec, centroid))
+            for label, centroid in self._centroids.items()
+        }
+
+    def predict(self, doc: TrainingDocument) -> str:
+        scores = self.scores(doc)
+        return max(sorted(scores), key=lambda c: scores[c])
+
+    def margin(self, doc: TrainingDocument) -> float:
+        """Top-1 minus top-2 score: small margin = uncertain."""
+        values = sorted(self.scores(doc).values(), reverse=True)
+        if len(values) < 2:
+            return float("inf")
+        return values[0] - values[1]
+
+    def accuracy(
+        self, docs: Sequence[TrainingDocument], labels: Sequence[str]
+    ) -> float:
+        if not docs:
+            return 0.0
+        return sum(
+            self.predict(doc) == label for doc, label in zip(docs, labels)
+        ) / len(docs)
+
+
+@dataclass
+class ActiveLearningRound:
+    """One oracle round's accounting."""
+
+    round_index: int
+    labels_spent: int
+    accuracy: float
+
+
+class ActiveLearner:
+    """Uncertainty-sampling active learning around :class:`CentroidClassifier`."""
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        *,
+        embedder: Optional[EmbeddingModel] = None,
+        batch_size: int = 10,
+        seed: int = 0,
+        strategy: str = "uncertainty",
+    ) -> None:
+        if strategy not in {"uncertainty", "random"}:
+            raise ConfigError("strategy must be 'uncertainty' or 'random'")
+        self.oracle = oracle
+        self.classifier = CentroidClassifier(embedder)
+        self.batch_size = batch_size
+        self.seed = seed
+        self.strategy = strategy
+
+    def run(
+        self,
+        pool: Sequence[TrainingDocument],
+        *,
+        budget: int,
+        test_docs: Sequence[TrainingDocument],
+        test_labels: Sequence[str],
+        warmup: int = 6,
+    ) -> List[ActiveLearningRound]:
+        """Spend ``budget`` oracle labels; returns the learning curve."""
+        if budget < warmup:
+            raise ConfigError("budget must cover the warmup labels")
+        rng = derive_rng(self.seed, "active")
+        unlabeled = list(range(len(pool)))
+        rounds: List[ActiveLearningRound] = []
+        # Warmup: random seed labels (both strategies start identically).
+        warm_idx = [int(i) for i in rng.permutation(len(unlabeled))[:warmup]]
+        warm_rows = [unlabeled[i] for i in warm_idx]
+        self.classifier.fit(
+            [pool[i] for i in warm_rows], [self.oracle(pool[i]) for i in warm_rows]
+        )
+        unlabeled = [i for i in unlabeled if i not in set(warm_rows)]
+        spent = warmup
+        round_index = 0
+        rounds.append(
+            ActiveLearningRound(
+                round_index, spent, self.classifier.accuracy(test_docs, test_labels)
+            )
+        )
+        while spent < budget and unlabeled:
+            take = min(self.batch_size, budget - spent, len(unlabeled))
+            if self.strategy == "uncertainty":
+                unlabeled.sort(key=lambda i: self.classifier.margin(pool[i]))
+                batch = unlabeled[:take]
+                unlabeled = unlabeled[take:]
+            else:
+                picks = rng.permutation(len(unlabeled))[:take]
+                pick_set = {int(p) for p in picks}
+                batch = [unlabeled[p] for p in pick_set]
+                unlabeled = [x for j, x in enumerate(unlabeled) if j not in pick_set]
+            for i in batch:
+                self.classifier.partial_fit(pool[i], self.oracle(pool[i]))
+            spent += take
+            round_index += 1
+            rounds.append(
+                ActiveLearningRound(
+                    round_index, spent, self.classifier.accuracy(test_docs, test_labels)
+                )
+            )
+        return rounds

@@ -1,0 +1,136 @@
+"""LLM-in-the-loop data preparation (the paper's §2.4 open challenge).
+
+Rule filters are cheap but brittle at the margin; LLM judgment is accurate
+but costs per call. :class:`LLMAssistedFilter` combines them the way the
+paper's "comprehensive, end-to-end solution" sketch suggests:
+
+1. run the cheap signal (quality-classifier score);
+2. accept/reject the *confident* band outright;
+3. send only the ambiguous band to an LLM ``judge`` call.
+
+The result is near-classifier cost with near-LLM accuracy — the same
+cascade economics as the semantic-operator optimizer, applied to prep.
+:class:`LLMPrepSystem` wires the assisted filter into a full
+:class:`~repro.prep.pipeline.PrepPipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from .cleaning import QualityClassifier
+from .pipeline import PrepPipeline
+
+
+@dataclass
+class AssistedFilterStats:
+    """Where did each decision come from?"""
+
+    classifier_decisions: int = 0
+    llm_decisions: int = 0
+    kept: int = 0
+    dropped: int = 0
+
+    @property
+    def llm_fraction(self) -> float:
+        total = self.classifier_decisions + self.llm_decisions
+        return self.llm_decisions / total if total else 0.0
+
+
+class LLMAssistedFilter:
+    """Classifier-confident fast path + LLM slow path for the grey zone."""
+
+    def __init__(
+        self,
+        classifier: QualityClassifier,
+        llm: SimLLM,
+        *,
+        low_threshold: float = 0.25,
+        high_threshold: float = 0.75,
+    ) -> None:
+        if not 0.0 <= low_threshold <= high_threshold <= 1.0:
+            raise ConfigError("need 0 <= low <= high <= 1")
+        self.classifier = classifier
+        self.llm = llm
+        self.low_threshold = low_threshold
+        self.high_threshold = high_threshold
+
+    def filter(
+        self, docs: Sequence[TrainingDocument]
+    ) -> Tuple[List[TrainingDocument], AssistedFilterStats]:
+        stats = AssistedFilterStats()
+        kept: List[TrainingDocument] = []
+        for doc in docs:
+            score = self.classifier.score(doc)
+            if score >= self.high_threshold:
+                stats.classifier_decisions += 1
+                decision = True
+            elif score <= self.low_threshold:
+                stats.classifier_decisions += 1
+                decision = False
+            else:
+                stats.llm_decisions += 1
+                decision = self._llm_judge(doc)
+            if decision:
+                kept.append(doc)
+                stats.kept += 1
+            else:
+                stats.dropped += 1
+        return kept, stats
+
+    def _llm_judge(self, doc: TrainingDocument) -> bool:
+        prompt = Prompt(
+            task="judge",
+            instruction="Is this document fluent, informative text suitable for training?",
+            input=doc.text[:400],
+            fields={"predicate": "is_about informative fluent prose"},
+        )
+        response = self.llm.generate(prompt.render(), tag="prep-llm-judge")
+        return response.text.strip().lower().startswith("y")
+
+
+class LLMPrepSystem:
+    """End-to-end LLM-in-the-loop preparation pipeline (open challenge C3)."""
+
+    def __init__(
+        self,
+        llm: SimLLM,
+        classifier: QualityClassifier,
+        *,
+        low_threshold: float = 0.25,
+        high_threshold: float = 0.75,
+    ) -> None:
+        self.llm = llm
+        self.assisted = LLMAssistedFilter(
+            classifier,
+            llm,
+            low_threshold=low_threshold,
+            high_threshold=high_threshold,
+        )
+        self.last_stats: Optional[AssistedFilterStats] = None
+
+    def build_pipeline(self) -> PrepPipeline:
+        """Toxicity -> LLM-assisted quality -> line dedup -> MinHash dedup."""
+        from .cleaning import ToxicityFilter
+        from .dedup import MinHashDeduper, line_dedup
+
+        tox = ToxicityFilter()
+        deduper = MinHashDeduper()
+
+        def assisted_stage(docs: List[TrainingDocument]) -> List[TrainingDocument]:
+            kept, stats = self.assisted.filter(docs)
+            self.last_stats = stats
+            return kept
+
+        return (
+            PrepPipeline()
+            .add_stage("toxicity_filter", lambda docs: tox.filter(docs)[0])
+            .add_stage("llm_assisted_quality", assisted_stage)
+            .add_stage("line_dedup", lambda docs: line_dedup(docs)[0])
+            .add_stage("minhash_dedup", lambda docs: deduper.dedup(docs).kept)
+        )

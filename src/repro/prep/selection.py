@@ -1,0 +1,179 @@
+"""Data selection: pick a small, representative training subset (§2.3.2).
+
+The goal (the coreset literature [11, 12, 57] applied to LLM data [9, 14,
+63, 67]): a budgeted subset whose trained model matches full-data quality.
+Strategies, all returning indices into the candidate list:
+
+* :func:`random_selection` — the baseline every paper compares against;
+* :func:`perplexity_selection` — importance by reference-model perplexity
+  [14]: keep the most fluent (mode ``"low"``) or mid-band (``"mid"``,
+  which avoids both garbage and trivially repetitive text);
+* :func:`kcenter_coreset` — greedy k-center over embeddings (classic
+  geometric coreset);
+* :func:`cluster_coreset` — k-means clustering + proportional per-cluster
+  sampling (the cluster-based method of [12], also the diversity-aware
+  selection of [67]);
+* :func:`target_similarity_selection` — LESS-flavoured [63]: rank
+  candidates by gradient-proxy alignment with a target task sample (here,
+  embedding similarity to the target centroid).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.ngram import NGramLM
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..utils import derive_rng
+from ..vector.kmeans import kmeans
+
+
+def _check_budget(budget: int, n: int) -> int:
+    if budget <= 0:
+        raise ConfigError(f"budget must be positive, got {budget}")
+    return min(budget, n)
+
+
+def random_selection(
+    docs: Sequence[TrainingDocument], budget: int, *, seed: int = 0
+) -> List[int]:
+    """Uniform random subset (the standard baseline)."""
+    budget = _check_budget(budget, len(docs))
+    rng = derive_rng(seed, "select-random")
+    return sorted(int(i) for i in rng.permutation(len(docs))[:budget])
+
+
+def perplexity_selection(
+    docs: Sequence[TrainingDocument],
+    budget: int,
+    reference_lm: NGramLM,
+    *,
+    mode: str = "mid",
+) -> List[int]:
+    """Select by reference-LM perplexity.
+
+    ``"low"`` keeps the most fluent documents; ``"mid"`` keeps the middle
+    band — low-perplexity text is often degenerate/repetitive, and
+    high-perplexity text is noise, so mid-band selection is the common
+    practical recipe.
+    """
+    if mode not in {"low", "mid"}:
+        raise ConfigError(f"mode must be 'low' or 'mid', got {mode!r}")
+    budget = _check_budget(budget, len(docs))
+    ppls = np.array([reference_lm.perplexity(d.text) for d in docs])
+    if mode == "low":
+        order = np.argsort(ppls)
+        return sorted(int(i) for i in order[:budget])
+    center = int(len(docs) * 0.4)  # mid-band anchor on the fluent side
+    order = np.argsort(ppls)
+    lo = max(center - budget // 2, 0)
+    return sorted(int(i) for i in order[lo : lo + budget])
+
+
+def kcenter_coreset(
+    embeddings: np.ndarray, budget: int, *, seed: int = 0
+) -> List[int]:
+    """Greedy k-center (farthest-first traversal) over embedding rows."""
+    n = embeddings.shape[0]
+    budget = _check_budget(budget, n)
+    rng = derive_rng(seed, "select-kcenter")
+    first = int(rng.integers(0, n))
+    selected = [first]
+    diff = embeddings - embeddings[first]
+    min_dist = np.einsum("ij,ij->i", diff, diff)
+    for _ in range(budget - 1):
+        nxt = int(np.argmax(min_dist))
+        selected.append(nxt)
+        diff = embeddings - embeddings[nxt]
+        dist = np.einsum("ij,ij->i", diff, diff)
+        min_dist = np.minimum(min_dist, dist)
+    return sorted(selected)
+
+
+def cluster_coreset(
+    embeddings: np.ndarray,
+    budget: int,
+    *,
+    num_clusters: int = 16,
+    seed: int = 0,
+) -> List[int]:
+    """k-means clustering + proportional sampling nearest to centroids.
+
+    Allocates the budget across clusters proportionally to size, then takes
+    the documents closest to each centroid — representative *and* diverse.
+    """
+    n = embeddings.shape[0]
+    budget = _check_budget(budget, n)
+    num_clusters = min(num_clusters, n, budget)
+    result = kmeans(embeddings, num_clusters, seed=seed)
+    selected: List[int] = []
+    remaining = budget
+    cluster_ids = sorted(set(int(c) for c in result.assignments))
+    for rank, cluster in enumerate(cluster_ids):
+        members = np.flatnonzero(result.assignments == cluster)
+        share = int(round(budget * len(members) / n))
+        if rank == len(cluster_ids) - 1:
+            share = remaining
+        share = min(max(share, 1), remaining, len(members))
+        if share <= 0:
+            continue
+        centroid = result.centroids[cluster]
+        diff = embeddings[members] - centroid
+        dist = np.einsum("ij,ij->i", diff, diff)
+        closest = members[np.argsort(dist)[:share]]
+        selected.extend(int(i) for i in closest)
+        remaining -= share
+        if remaining <= 0:
+            break
+    return sorted(set(selected))[:budget]
+
+
+def target_similarity_selection(
+    embeddings: np.ndarray,
+    target_embeddings: np.ndarray,
+    budget: int,
+) -> List[int]:
+    """Rank candidates by similarity to the target-task centroid (LESS-like).
+
+    With a linear proxy model, the gradient of a document's loss is a
+    linear function of its features, so gradient alignment with a target
+    set reduces to embedding-space alignment — which is what we compute.
+    """
+    if target_embeddings.shape[0] == 0:
+        raise ConfigError("target set must be non-empty")
+    budget = _check_budget(budget, embeddings.shape[0])
+    centroid = target_embeddings.mean(axis=0)
+    norm = np.linalg.norm(centroid)
+    if norm > 0:
+        centroid = centroid / norm
+    scores = embeddings @ centroid
+    order = np.argsort(-scores)
+    return sorted(int(i) for i in order[:budget])
+
+
+def embed_docs(
+    docs: Sequence[TrainingDocument], embedder: Optional[EmbeddingModel] = None
+) -> np.ndarray:
+    """Embedding matrix for a document list (helper for the coreset APIs)."""
+    embedder = embedder or EmbeddingModel()
+    return embedder.embed_batch([d.text for d in docs])
+
+
+def selection_quality(
+    docs: Sequence[TrainingDocument],
+    selected: Sequence[int],
+    eval_texts: Sequence[str],
+    *,
+    order: int = 2,
+) -> float:
+    """Train the n-gram proxy on the selection; return held-out perplexity.
+
+    This is the downstream metric every selection strategy is judged by —
+    lower is better.
+    """
+    lm = NGramLM(order=order).fit(docs[i].text for i in selected)
+    return lm.corpus_perplexity(list(eval_texts))

@@ -1,0 +1,154 @@
+"""Prompt compression: shrink context tokens while keeping answer-bearing
+content (the "prompting compression to reduce the LLMs cost" item, §2.2.1).
+
+Three composable passes, LLMLingua-flavoured but deterministic:
+
+* :func:`dedup_sentences` — drop near-duplicate context sentences;
+* :func:`relevance_filter` — keep only sentences whose embedding similarity
+  to the query clears a threshold (or the top fraction);
+* :func:`budget_truncate` — hard token ceiling, keeping the most relevant
+  sentences that fit.
+
+:class:`PromptCompressor` chains them and reports the compression ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..llm.embedding import EmbeddingModel
+from ..llm.protocol import Prompt
+from ..llm.tokenizer import Tokenizer, default_tokenizer
+from ..rag.chunking import split_sentences
+
+
+def dedup_sentences(
+    sentences: List[str], embedder: EmbeddingModel, *, threshold: float = 0.92
+) -> List[str]:
+    """Remove sentences nearly identical (cosine > threshold) to a kept one."""
+    kept: List[str] = []
+    kept_vecs: List[np.ndarray] = []
+    for sentence in sentences:
+        vec = embedder.embed(sentence)
+        if any(float(np.dot(vec, kv)) > threshold for kv in kept_vecs):
+            continue
+        kept.append(sentence)
+        kept_vecs.append(vec)
+    return kept
+
+
+def relevance_filter(
+    sentences: List[str],
+    query: str,
+    embedder: EmbeddingModel,
+    *,
+    keep_fraction: float = 0.5,
+    min_keep: int = 1,
+) -> List[str]:
+    """Keep the ``keep_fraction`` of sentences most similar to the query,
+    preserving original order."""
+    if not sentences:
+        return []
+    qvec = embedder.embed(query)
+    scores = np.array([float(np.dot(qvec, embedder.embed(s))) for s in sentences])
+    keep_n = max(min_keep, int(round(len(sentences) * keep_fraction)))
+    keep_idx = set(np.argsort(-scores)[:keep_n].tolist())
+    return [s for i, s in enumerate(sentences) if i in keep_idx]
+
+
+def budget_truncate(
+    sentences: List[str],
+    query: str,
+    embedder: EmbeddingModel,
+    *,
+    max_tokens: int,
+    tokenizer: Optional[Tokenizer] = None,
+) -> List[str]:
+    """Greedy knapsack: admit sentences by relevance until the budget fills,
+    then emit in original order."""
+    tok = tokenizer or default_tokenizer()
+    if not sentences:
+        return []
+    qvec = embedder.embed(query)
+    scored = sorted(
+        range(len(sentences)),
+        key=lambda i: -float(np.dot(qvec, embedder.embed(sentences[i]))),
+    )
+    budget = max_tokens
+    chosen = set()
+    for i in scored:
+        cost = tok.count(sentences[i])
+        if cost <= budget:
+            chosen.add(i)
+            budget -= cost
+    return [s for i, s in enumerate(sentences) if i in chosen]
+
+
+@dataclass
+class CompressionResult:
+    """A compressed prompt plus before/after token accounting."""
+
+    prompt: Prompt
+    original_tokens: int
+    compressed_tokens: int
+
+    @property
+    def ratio(self) -> float:
+        """compressed / original (lower = more compression)."""
+        if self.original_tokens == 0:
+            return 1.0
+        return self.compressed_tokens / self.original_tokens
+
+
+class PromptCompressor:
+    """Chains dedup -> relevance filter -> budget truncation on a prompt's
+    context section."""
+
+    def __init__(
+        self,
+        embedder: EmbeddingModel,
+        *,
+        dedup_threshold: float = 0.92,
+        keep_fraction: float = 0.6,
+        max_context_tokens: Optional[int] = None,
+        tokenizer: Optional[Tokenizer] = None,
+    ) -> None:
+        self.embedder = embedder
+        self.dedup_threshold = dedup_threshold
+        self.keep_fraction = keep_fraction
+        self.max_context_tokens = max_context_tokens
+        self.tokenizer = tokenizer or default_tokenizer()
+
+    def compress(self, prompt: Prompt) -> CompressionResult:
+        original_tokens = self.tokenizer.count(prompt.render())
+        sentences = split_sentences(prompt.context)
+        sentences = dedup_sentences(
+            sentences, self.embedder, threshold=self.dedup_threshold
+        )
+        sentences = relevance_filter(
+            sentences, prompt.input, self.embedder, keep_fraction=self.keep_fraction
+        )
+        if self.max_context_tokens is not None:
+            sentences = budget_truncate(
+                sentences,
+                prompt.input,
+                self.embedder,
+                max_tokens=self.max_context_tokens,
+                tokenizer=self.tokenizer,
+            )
+        compressed = Prompt(
+            task=prompt.task,
+            instruction=prompt.instruction,
+            context=" ".join(sentences),
+            examples=list(prompt.examples),
+            input=prompt.input,
+            fields=dict(prompt.fields),
+        )
+        return CompressionResult(
+            prompt=compressed,
+            original_tokens=original_tokens,
+            compressed_tokens=self.tokenizer.count(compressed.render()),
+        )

@@ -1,0 +1,96 @@
+"""Demonstration (few-shot example) selection strategies.
+
+"Demonstration examples selection" is called out in §2.2.1. Three standard
+selectors over a pool of labelled examples:
+
+* :class:`RandomSelector` — the seeded baseline;
+* :class:`SimilaritySelector` — nearest examples to the query in embedding
+  space (kNN-prompting);
+* :class:`DiversitySelector` — greedy max-min facility-location pick that
+  covers the input space (good when queries are broad).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..utils import derive_rng
+from .templates import Demonstration
+
+
+class ExamplePool:
+    """A pool of demonstrations with cached embeddings."""
+
+    def __init__(
+        self, examples: Sequence[Demonstration], embedder: Optional[EmbeddingModel] = None
+    ) -> None:
+        self.examples = list(examples)
+        self.embedder = embedder
+        self._matrix: Optional[np.ndarray] = None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self.embedder is None:
+            raise ConfigError("this selector requires an embedder on the pool")
+        if self._matrix is None:
+            self._matrix = self.embedder.embed_batch([e.input for e in self.examples])
+        return self._matrix
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+class RandomSelector:
+    """Seeded uniform sample (query-independent)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def select(self, pool: ExamplePool, query: str, k: int) -> List[Demonstration]:
+        if k <= 0 or not pool.examples:
+            return []
+        rng = derive_rng(self.seed, "fewshot", query)
+        k = min(k, len(pool))
+        picks = rng.choice(len(pool), size=k, replace=False)
+        return [pool.examples[int(i)] for i in picks]
+
+
+class SimilaritySelector:
+    """k nearest examples to the query in embedding space."""
+
+    def select(self, pool: ExamplePool, query: str, k: int) -> List[Demonstration]:
+        if k <= 0 or not pool.examples:
+            return []
+        qvec = pool.embedder.embed(query)  # type: ignore[union-attr]
+        scores = pool.matrix @ qvec
+        order = np.argsort(-scores)[: min(k, len(pool))]
+        return [pool.examples[int(i)] for i in order]
+
+
+class DiversitySelector:
+    """Greedy max-min coverage: first the most similar, then farthest-first."""
+
+    def select(self, pool: ExamplePool, query: str, k: int) -> List[Demonstration]:
+        if k <= 0 or not pool.examples:
+            return []
+        matrix = pool.matrix
+        qvec = pool.embedder.embed(query)  # type: ignore[union-attr]
+        k = min(k, len(pool))
+        selected = [int(np.argmax(matrix @ qvec))]
+        while len(selected) < k:
+            sims_to_selected = matrix @ matrix[selected].T  # (n, |selected|)
+            max_sim = sims_to_selected.max(axis=1)
+            max_sim[selected] = np.inf
+            selected.append(int(np.argmin(max_sim)))
+        return [pool.examples[i] for i in selected]
+
+
+SELECTORS = {
+    "random": RandomSelector,
+    "similarity": SimilaritySelector,
+    "diversity": DiversitySelector,
+}

@@ -1,0 +1,82 @@
+"""Rerankers: lift precision of a candidate list before it enters the prompt.
+
+The paper names reranking as one of the four RAG challenges (§2.2.1). Two
+implementations:
+
+* :class:`EmbeddingReranker` — cheap cross-similarity rescoring (bi-encoder
+  style, no LLM calls);
+* :class:`LLMReranker` — asks the model to order candidates (cross-encoder /
+  listwise style; costs one call, but inherits the model's judgment).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..llm.embedding import EmbeddingModel
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from .retriever import RetrievedChunk
+
+
+class EmbeddingReranker:
+    """Re-score candidates by query-chunk cosine (deterministic, free)."""
+
+    def __init__(self, embedder: EmbeddingModel) -> None:
+        self.embedder = embedder
+
+    def rerank(
+        self, query: str, candidates: List[RetrievedChunk], k: Optional[int] = None
+    ) -> List[RetrievedChunk]:
+        import numpy as np
+
+        if not candidates:
+            return []
+        qvec = self.embedder.embed(query)
+        rescored = [
+            RetrievedChunk(
+                chunk=rc.chunk,
+                score=float(np.dot(qvec, self.embedder.embed(rc.chunk.text))),
+            )
+            for rc in candidates
+        ]
+        rescored.sort(key=lambda rc: -rc.score)
+        return rescored[: k or len(rescored)]
+
+
+class LLMReranker:
+    """Listwise LLM reranking via the ``rank`` skill."""
+
+    def __init__(self, llm: SimLLM) -> None:
+        self.llm = llm
+
+    def rerank(
+        self, query: str, candidates: List[RetrievedChunk], k: Optional[int] = None
+    ) -> List[RetrievedChunk]:
+        if not candidates:
+            return []
+        context = "\n".join(
+            f"[{i}] {rc.chunk.text}" for i, rc in enumerate(candidates)
+        )
+        prompt = Prompt(
+            task="rank",
+            instruction="Order the passages by relevance to the query.",
+            context=context,
+            input=query,
+        )
+        response = self.llm.generate(prompt.render(), tag="rerank")
+        order: List[int] = []
+        for part in response.text.split(","):
+            part = part.strip()
+            if part.isdigit() and int(part) < len(candidates):
+                idx = int(part)
+                if idx not in order:
+                    order.append(idx)
+        for i in range(len(candidates)):  # backfill anything the model dropped
+            if i not in order:
+                order.append(i)
+        ranked = [
+            RetrievedChunk(chunk=candidates[i].chunk, score=float(len(order) - pos))
+            for pos, i in enumerate(order)
+        ]
+        return ranked[: k or len(ranked)]

@@ -1,0 +1,71 @@
+"""Optimal checkpoint frequency (CheckFreq [38] / Young-Daly).
+
+With checkpoint cost C seconds and mean time between failures M seconds,
+the classic Young-Daly interval ``sqrt(2*C*M)`` minimizes expected lost
+time; :func:`expected_overhead_fraction` gives the analytic overhead of
+any interval so the optimum is verifiable by sweep (benchmark E12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+
+
+def young_daly_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """The Young-Daly optimal seconds-between-checkpoints."""
+    if checkpoint_cost_s <= 0 or mtbf_s <= 0:
+        raise ConfigError("checkpoint cost and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def expected_overhead_fraction(
+    interval_s: float,
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    *,
+    restart_cost_s: float = 0.0,
+) -> float:
+    """Expected fraction of wall time lost to checkpoints + failures.
+
+    First-order model: checkpoint overhead C/T, plus expected rework per
+    failure of (T/2 + restart) spread over the MTBF.
+    """
+    if interval_s <= 0:
+        raise ConfigError("interval must be positive")
+    checkpoint_overhead = checkpoint_cost_s / interval_s
+    failure_overhead = (interval_s / 2.0 + restart_cost_s + checkpoint_cost_s) / mtbf_s
+    return checkpoint_overhead + failure_overhead
+
+
+@dataclass(frozen=True)
+class FrequencyPlan:
+    """A chosen checkpoint cadence with its predicted overhead."""
+
+    interval_s: float
+    steps_between_checkpoints: int
+    predicted_overhead: float
+
+
+def plan_frequency(
+    *,
+    step_time_s: float,
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    restart_cost_s: float = 0.0,
+) -> FrequencyPlan:
+    """Round the Young-Daly interval to a whole number of training steps."""
+    if step_time_s <= 0:
+        raise ConfigError("step_time_s must be positive")
+    interval = young_daly_interval(checkpoint_cost_s, mtbf_s)
+    steps = max(1, int(round(interval / step_time_s)))
+    actual_interval = steps * step_time_s
+    return FrequencyPlan(
+        interval_s=actual_interval,
+        steps_between_checkpoints=steps,
+        predicted_overhead=expected_overhead_fraction(
+            actual_interval, checkpoint_cost_s, mtbf_s, restart_cost_s=restart_cost_s
+        ),
+    )

@@ -1,0 +1,103 @@
+"""Simulated GPU training cluster.
+
+Substitutes for real training hardware (DESIGN.md §1): capacities,
+bandwidths and failure behaviour are explicit parameters, so parallelism
+memory math, checkpoint stall analysis, and failure-recovery goodput are
+exactly computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ClusterError
+from ..utils import derive_rng
+
+GIB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator's capabilities (defaults approximate an A100-80G)."""
+
+    memory_gb: float = 80.0
+    flops: float = 312e12  # dense bf16
+    mfu: float = 0.42  # achieved model-FLOPs utilization
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * GIB
+
+    @property
+    def effective_flops(self) -> float:
+        return self.flops * self.mfu
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster topology and reliability."""
+
+    num_nodes: int = 4
+    gpus_per_node: int = 8
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    intra_node_bw: float = 300e9  # NVLink bytes/s per GPU
+    inter_node_bw: float = 25e9  # IB bytes/s per GPU
+    storage_write_bw: float = 2e9  # checkpoint store bytes/s per writer
+    storage_read_bw: float = 5e9
+    mtbf_hours: float = 100.0  # per-cluster mean time between failures
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.gpus_per_node <= 0:
+            raise ClusterError("cluster dims must be positive")
+        if self.mtbf_hours <= 0:
+            raise ClusterError("mtbf_hours must be positive")
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def collective_bandwidth(self, group_size: int) -> float:
+        """Per-GPU bandwidth available to a collective of ``group_size``.
+
+        Groups that fit in one node ride NVLink; anything larger is bound
+        by the inter-node fabric.
+        """
+        if group_size <= 1:
+            return float("inf")
+        if group_size <= self.gpus_per_node:
+            return self.intra_node_bw
+        return self.inter_node_bw
+
+    def allreduce_time(self, bytes_per_gpu: float, group_size: int) -> float:
+        """Ring all-reduce time: 2*(n-1)/n * bytes / bw."""
+        if group_size <= 1:
+            return 0.0
+        bw = self.collective_bandwidth(group_size)
+        return 2.0 * (group_size - 1) / group_size * bytes_per_gpu / bw
+
+    def allgather_time(self, bytes_per_gpu: float, group_size: int) -> float:
+        """Ring all-gather time: (n-1)/n * bytes / bw."""
+        if group_size <= 1:
+            return 0.0
+        bw = self.collective_bandwidth(group_size)
+        return (group_size - 1) / group_size * bytes_per_gpu / bw
+
+
+class FailureModel:
+    """Seeded exponential failure process for the whole cluster."""
+
+    def __init__(self, cluster: ClusterSpec, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.seed = seed
+
+    def failure_times(self, horizon_hours: float) -> List[float]:
+        """Failure timestamps (hours) within the horizon."""
+        rng = derive_rng(self.seed, "failures")
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.cluster.mtbf_hours))
+            if t >= horizon_hours:
+                return times
+            times.append(t)

@@ -1,0 +1,159 @@
+"""Training-run simulator: steps, failures, checkpoints, recovery, goodput.
+
+Ties the training substrates together (MegaScale-style accounting [27]):
+the analytic step time drives a wall clock, the cluster's failure process
+injects crashes, and the checkpoint engine determines both the per-
+checkpoint stall and how much work a crash destroys. The headline metric
+is **goodput** — the fraction of wall time spent on retained training
+steps — plus a data-quality-aware loss curve so Data4LLM choices show up
+in the same simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from .checkpoint.engine import CheckpointEngine
+from .checkpoint.formats import State, make_state
+from .cluster import ClusterSpec, FailureModel
+from .model_spec import TrainModelSpec
+from .parallelism import ParallelConfig, step_time
+
+
+def loss_at_tokens(
+    tokens: float, *, quality: float = 1.0, floor: float = 1.7, scale: float = 12.0,
+    exponent: float = 0.08,
+) -> float:
+    """Chinchilla-flavoured power-law loss curve.
+
+    ``quality`` in (0, 1] rescales effective tokens (deduplicated, filtered
+    data has quality near 1; duplicated/noisy data wastes tokens).
+    """
+    if tokens <= 0:
+        return floor + scale
+    effective = max(tokens * quality, 1.0)
+    return floor + scale * effective ** (-exponent)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated training run."""
+
+    steps_completed: int
+    wall_time_s: float
+    useful_time_s: float
+    checkpoint_stall_s: float
+    lost_time_s: float
+    restarts: int
+    final_loss: float
+    tokens_seen: float
+
+    @property
+    def goodput(self) -> float:
+        """Useful step time / total wall time (MegaScale's headline metric)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.useful_time_s / self.wall_time_s
+
+
+class TrainingRun:
+    """Discrete step-loop simulation with failures and checkpointing."""
+
+    def __init__(
+        self,
+        spec: TrainModelSpec,
+        config: ParallelConfig,
+        cluster: ClusterSpec,
+        *,
+        checkpoint_engine: Optional[CheckpointEngine] = None,
+        checkpoint_every_steps: int = 200,
+        restart_cost_s: float = 120.0,
+        data_quality: float = 1.0,
+        state_tensors: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if checkpoint_every_steps <= 0:
+            raise ConfigError("checkpoint_every_steps must be positive")
+        self.spec = spec
+        self.config = config
+        self.cluster = cluster
+        self.engine = checkpoint_engine or CheckpointEngine(
+            storage_write_bw=cluster.storage_write_bw,
+            storage_read_bw=cluster.storage_read_bw,
+        )
+        self.checkpoint_every_steps = checkpoint_every_steps
+        self.restart_cost_s = restart_cost_s
+        self.data_quality = data_quality
+        self.seed = seed
+        self._state: State = make_state(num_tensors=state_tensors, seed=seed)
+        self.step_time_s = step_time(spec, config, cluster).total
+
+    def _advance_state(self, step: int) -> None:
+        """Mutate a small part of the state (so differential mode has diffs)."""
+        for i, (name, array) in enumerate(sorted(self._state.items())):
+            if (step + i) % len(self._state) == 0:
+                flat = array.reshape(-1)
+                flat[step % flat.size] += 1.0
+
+    def run(self, total_steps: int, *, horizon_hours: Optional[float] = None) -> RunResult:
+        """Simulate up to ``total_steps`` steps (or until the time horizon)."""
+        if total_steps <= 0:
+            raise ConfigError("total_steps must be positive")
+        tokens_per_step = self.config.global_batch * self.spec.seq_len
+        est_hours = total_steps * self.step_time_s / 3600.0 * 3.0 + 1.0
+        failures = FailureModel(self.cluster, seed=self.seed).failure_times(
+            horizon_hours or est_hours
+        )
+        failure_queue = [t * 3600.0 for t in failures]
+        clock = 0.0
+        useful = 0.0
+        stall = 0.0
+        lost = 0.0
+        restarts = 0
+        step = 0
+        last_checkpoint_step = 0
+        last_checkpoint_clock = 0.0
+        self.engine.save(0, self._state)
+        stall += self.engine.records[-1].stall_s
+        clock += self.engine.records[-1].stall_s
+        while step < total_steps:
+            next_failure = failure_queue[0] if failure_queue else math.inf
+            step_end = clock + self.step_time_s
+            if step_end > next_failure:
+                # Crash mid-step: roll back to the last checkpoint.
+                failure_queue.pop(0)
+                lost_steps = step - last_checkpoint_step
+                lost += (clock - last_checkpoint_clock) + (next_failure - clock)
+                useful -= lost_steps * self.step_time_s
+                clock = next_failure + self.restart_cost_s + self.engine.restore_time_s()
+                lost += self.restart_cost_s + self.engine.restore_time_s()
+                loaded_step, state = self.engine.load_latest()
+                self._state = state
+                step = loaded_step
+                restarts += 1
+                last_checkpoint_clock = clock
+                continue
+            clock = step_end
+            useful += self.step_time_s
+            step += 1
+            self._advance_state(step)
+            if step % self.checkpoint_every_steps == 0 or step == total_steps:
+                record = self.engine.save(step, self._state)
+                stall += record.stall_s
+                clock += record.stall_s
+                last_checkpoint_step = step
+                last_checkpoint_clock = clock
+        tokens = step * tokens_per_step
+        return RunResult(
+            steps_completed=step,
+            wall_time_s=clock,
+            useful_time_s=useful,
+            checkpoint_stall_s=stall,
+            lost_time_s=lost,
+            restarts=restarts,
+            final_loss=loss_at_tokens(tokens, quality=self.data_quality),
+            tokens_seen=tokens,
+        )

@@ -1,0 +1,30 @@
+"""Unstructured-data analytics: semantic operators, schema extraction, query routing."""
+
+from .operators import OpStats, Record, SemanticOperators
+from .query import AggregateQuery, AnalyticsAnswer, DocumentAnalytics, parse_aggregate
+from .schema_extract import (
+    DirectExtractor,
+    EvaporateExtractor,
+    ExtractionResult,
+    SynthesizedFunction,
+    extraction_accuracy,
+)
+from .weak_supervision import LabelModel, LabelModelResult, majority_vote
+
+__all__ = [
+    "OpStats",
+    "Record",
+    "SemanticOperators",
+    "AggregateQuery",
+    "AnalyticsAnswer",
+    "DocumentAnalytics",
+    "parse_aggregate",
+    "DirectExtractor",
+    "EvaporateExtractor",
+    "ExtractionResult",
+    "SynthesizedFunction",
+    "extraction_accuracy",
+    "LabelModel",
+    "LabelModelResult",
+    "majority_vote",
+]

@@ -1,0 +1,291 @@
+"""Semantic operators over unstructured records (LOTUS [43] / PALIMPZEST [35]).
+
+Operators take lists of records (``dict`` with string fields, usually
+including ``text``) and apply LLM-powered relational semantics:
+
+* :meth:`SemanticOperators.sem_filter` — keep records satisfying a natural
+  predicate; optional **cascade** optimization decides confident cases with
+  a free proxy (structured-field rule evaluation, or an embedding
+  double-threshold for topical predicates) and reserves LLM calls for the
+  uncertain band — the central cost optimization of the cited systems;
+* :meth:`SemanticOperators.sem_map` — per-record transformation;
+* :meth:`SemanticOperators.sem_join` — semantic equi-join with embedding
+  **blocking** so only plausible pairs pay an LLM call (vs. the naive
+  |L|x|R| cross product);
+* :meth:`SemanticOperators.sem_topk` — tournament top-k ranking;
+* :meth:`SemanticOperators.sem_group_count` — classify-and-count
+  aggregation.
+
+Every operator returns an :class:`OpStats` documenting LLM calls saved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..llm.model import SimLLM
+from ..llm.protocol import Prompt
+from ..llm.skills import evaluate_predicate, parse_record
+
+Record = Dict[str, str]
+
+
+@dataclass
+class OpStats:
+    """Per-operator accounting: where did decisions come from?"""
+
+    llm_calls: int = 0
+    proxy_decisions: int = 0
+    rule_decisions: int = 0
+    candidates_considered: int = 0
+    usd: float = 0.0
+
+    @property
+    def total_decisions(self) -> int:
+        return self.llm_calls + self.proxy_decisions + self.rule_decisions
+
+
+def _record_text(record: Record) -> str:
+    return str(record.get("text") or json.dumps(record, sort_keys=True))
+
+
+class SemanticOperators:
+    """LLM-powered relational operators with cost optimizations."""
+
+    def __init__(
+        self,
+        llm: SimLLM,
+        *,
+        embedder: Optional[EmbeddingModel] = None,
+        proxy_low: float = 0.08,
+        proxy_high: float = 0.30,
+    ) -> None:
+        if proxy_low > proxy_high:
+            raise ConfigError("proxy_low must be <= proxy_high")
+        self.llm = llm
+        self.embedder = embedder or llm.embedder
+        self.proxy_low = proxy_low
+        self.proxy_high = proxy_high
+
+    # ------------------------------------------------------------- sem_filter
+    def sem_filter(
+        self,
+        records: Sequence[Record],
+        predicate: str,
+        *,
+        cascade: bool = False,
+    ) -> Tuple[List[Record], OpStats]:
+        """Keep records satisfying ``predicate``.
+
+        Predicate forms: ``field op literal`` (see
+        :func:`repro.llm.skills.evaluate_predicate`) or ``is_about <topic>``.
+        With ``cascade=True``, confident cases are decided without the LLM.
+        """
+        stats = OpStats()
+        kept: List[Record] = []
+        is_topical = predicate.strip().lower().startswith("is_about")
+        topic = predicate.strip()[len("is_about") :].strip().strip("'\"") if is_topical else ""
+        topic_vec = self.embedder.embed(topic) if is_topical else None
+        for record in records:
+            stats.candidates_considered += 1
+            decision: Optional[bool] = None
+            if cascade:
+                decision = self._proxy_decision(record, predicate, is_topical, topic_vec, stats)
+            if decision is None:
+                decision = self._llm_judge(record, predicate, stats)
+            if decision:
+                kept.append(record)
+        return kept, stats
+
+    def _proxy_decision(
+        self,
+        record: Record,
+        predicate: str,
+        is_topical: bool,
+        topic_vec: Optional[np.ndarray],
+        stats: OpStats,
+    ) -> Optional[bool]:
+        if is_topical and topic_vec is not None:
+            sim = float(np.dot(topic_vec, self.embedder.embed(_record_text(record))))
+            if sim >= self.proxy_high:
+                stats.proxy_decisions += 1
+                return True
+            if sim <= self.proxy_low:
+                stats.proxy_decisions += 1
+                return False
+            return None  # uncertain band -> LLM
+        verdict = evaluate_predicate(predicate, record)
+        if verdict is not None:
+            stats.rule_decisions += 1
+            return verdict
+        return None
+
+    def _llm_judge(self, record: Record, predicate: str, stats: OpStats) -> bool:
+        prompt = Prompt(
+            task="judge",
+            instruction="Decide whether the item satisfies the predicate.",
+            input=_record_text(record)
+            if predicate.strip().lower().startswith("is_about")
+            else json.dumps(record, sort_keys=True),
+            fields={"predicate": predicate},
+        )
+        response = self.llm.generate(prompt.render(), tag="sem_filter")
+        stats.llm_calls += 1
+        stats.usd += response.usage.usd
+        return response.text.strip().lower().startswith("y")
+
+    # --------------------------------------------------------------- sem_map
+    def sem_map(
+        self, records: Sequence[Record], instruction: str, *, output_field: str = "mapped"
+    ) -> Tuple[List[Record], OpStats]:
+        """Apply ``instruction`` to each record; result in ``output_field``."""
+        stats = OpStats()
+        out: List[Record] = []
+        for record in records:
+            prompt = Prompt(
+                task="map",
+                instruction=instruction,
+                input=json.dumps(record, sort_keys=True)
+                if "field" in instruction
+                else _record_text(record),
+            )
+            response = self.llm.generate(prompt.render(), tag="sem_map")
+            stats.llm_calls += 1
+            stats.usd += response.usage.usd
+            merged = dict(record)
+            merged[output_field] = response.text
+            out.append(merged)
+        return out, stats
+
+    # -------------------------------------------------------------- sem_join
+    def sem_join(
+        self,
+        left: Sequence[Record],
+        right: Sequence[Record],
+        *,
+        left_key: str = "name",
+        right_key: str = "name",
+        blocking: bool = True,
+        blocking_threshold: float = 0.60,
+    ) -> Tuple[List[Tuple[Record, Record]], OpStats]:
+        """Semantic equi-join: LLM confirms pairs whose keys should match.
+
+        With ``blocking``, only pairs whose key embeddings clear
+        ``blocking_threshold`` are sent to the model; without it every pair
+        costs a call (the naive quadratic baseline).
+        """
+        stats = OpStats()
+        pairs: List[Tuple[Record, Record]] = []
+        if not left or not right:
+            return pairs, stats
+        if blocking:
+            left_vecs = self.embedder.embed_batch([str(r.get(left_key, "")) for r in left])
+            right_vecs = self.embedder.embed_batch(
+                [str(r.get(right_key, "")) for r in right]
+            )
+            sims = left_vecs @ right_vecs.T
+            candidates = [
+                (i, j)
+                for i in range(len(left))
+                for j in range(len(right))
+                if sims[i, j] >= blocking_threshold
+            ]
+        else:
+            candidates = [(i, j) for i in range(len(left)) for j in range(len(right))]
+        stats.candidates_considered = len(candidates)
+        for i, j in candidates:
+            prompt = Prompt(
+                task="join",
+                instruction="Do these records refer to the same entity?",
+                input=json.dumps(left[i], sort_keys=True)
+                + "\n---\n"
+                + json.dumps(right[j], sort_keys=True),
+                fields={"left_key": left_key, "right_key": right_key},
+            )
+            response = self.llm.generate(prompt.render(), tag="sem_join")
+            stats.llm_calls += 1
+            stats.usd += response.usage.usd
+            if response.text.strip().lower().startswith("y"):
+                pairs.append((dict(left[i]), dict(right[j])))
+        return pairs, stats
+
+    # -------------------------------------------------------------- sem_topk
+    def sem_topk(
+        self,
+        records: Sequence[Record],
+        query: str,
+        k: int,
+        *,
+        group_size: int = 8,
+    ) -> Tuple[List[Record], OpStats]:
+        """Tournament top-k by relevance to ``query``.
+
+        Records are ranked in groups of ``group_size`` (one LLM call per
+        group); group winners advance until one group remains.
+        """
+        if k <= 0:
+            return [], OpStats()
+        stats = OpStats()
+        pool = list(records)
+        while len(pool) > group_size:
+            next_pool: List[Record] = []
+            for start in range(0, len(pool), group_size):
+                group = pool[start : start + group_size]
+                ranked = self._rank_group(group, query, stats)
+                next_pool.extend(ranked[: max(k, 1)])
+            if len(next_pool) >= len(pool):
+                pool = next_pool[: max(len(pool) - 1, k)]
+            else:
+                pool = next_pool
+        final = self._rank_group(pool, query, stats)
+        return final[:k], stats
+
+    def _rank_group(
+        self, group: List[Record], query: str, stats: OpStats
+    ) -> List[Record]:
+        if len(group) <= 1:
+            return list(group)
+        context = "\n".join(f"[{i}] {_record_text(r)}" for i, r in enumerate(group))
+        prompt = Prompt(task="rank", context=context, input=query)
+        response = self.llm.generate(prompt.render(), tag="sem_topk")
+        stats.llm_calls += 1
+        stats.usd += response.usage.usd
+        order: List[int] = []
+        for part in response.text.split(","):
+            part = part.strip()
+            if part.isdigit() and int(part) < len(group) and int(part) not in order:
+                order.append(int(part))
+        for i in range(len(group)):
+            if i not in order:
+                order.append(i)
+        return [group[i] for i in order]
+
+    # -------------------------------------------------------- sem_group_count
+    def sem_group_count(
+        self, records: Sequence[Record], classes: Sequence[str]
+    ) -> Tuple[Dict[str, int], OpStats]:
+        """Classify each record into ``classes`` and count per class."""
+        if not classes:
+            raise ConfigError("classes must be non-empty")
+        stats = OpStats()
+        counts: Dict[str, int] = {c: 0 for c in classes}
+        for record in records:
+            prompt = Prompt(
+                task="label",
+                instruction="Classify the item.",
+                input=_record_text(record),
+                fields={"classes": " | ".join(classes)},
+            )
+            response = self.llm.generate(prompt.render(), tag="sem_group_count")
+            stats.llm_calls += 1
+            stats.usd += response.usage.usd
+            label = response.text.strip()
+            if label in counts:
+                counts[label] += 1
+        return counts, stats

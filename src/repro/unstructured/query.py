@@ -1,0 +1,220 @@
+"""Unstructured document analytics: point vs aggregation queries (§2.2.2).
+
+The tutorial splits unstructured analytics into (1) *point queries* that
+need a look-up of relevant data — served by RAG — and (2) *aggregation
+queries* that combine many documents — served by extract-then-aggregate
+(ZENDB/Unify style): extract a structured view once, then run relational
+aggregation over it.
+
+:class:`DocumentAnalytics` routes incoming natural-language queries between
+the two paths and reports per-query cost, making the crossover measurable:
+RAG is cheap for point look-ups, extraction amortizes for aggregates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.documents import Document
+from ..data.table import Table
+from ..errors import ExecutionError
+from ..llm.model import SimLLM
+from ..rag.pipeline import RAGPipeline
+from .schema_extract import EvaporateExtractor, ExtractionResult
+
+# Aggregation grammar: "<agg> <attribute> of <etype>s [where <field> <op> <value>]"
+_AGG_RE = re.compile(
+    r"^(?P<agg>count|how many|average|avg|max|maximum|min|minimum|sum|total)\s+"
+    r"(?:(?P<attribute>\w+)\s+of\s+)?(?P<etype>\w+?)s?"
+    r"(?:\s+where\s+(?P<field>\w+)\s*(?P<op>==|!=|>=|<=|>|<|contains)\s*(?P<value>.+))?$",
+    re.IGNORECASE,
+)
+
+_AGG_CANON = {
+    "count": "count",
+    "how many": "count",
+    "average": "avg",
+    "avg": "avg",
+    "max": "max",
+    "maximum": "max",
+    "min": "min",
+    "minimum": "min",
+    "sum": "sum",
+    "total": "sum",
+}
+
+
+@dataclass
+class AnalyticsAnswer:
+    """Result of one analytics query."""
+
+    question: str
+    answer: str
+    kind: str  # "point" | "aggregate"
+    llm_calls: int
+    usd: float
+    rows_considered: int = 0
+
+
+@dataclass
+class AggregateQuery:
+    """Parsed aggregation query."""
+
+    agg: str
+    attribute: Optional[str]
+    etype: str
+    where: Optional[Tuple[str, str, str]] = None
+
+
+def parse_aggregate(question: str) -> Optional[AggregateQuery]:
+    """Parse the aggregation grammar; None means it's a point query."""
+    match = _AGG_RE.match(question.strip().rstrip("?").strip())
+    if match is None:
+        return None
+    agg = _AGG_CANON[match.group("agg").lower()]
+    where = None
+    if match.group("field"):
+        where = (
+            match.group("field"),
+            match.group("op"),
+            match.group("value").strip().strip("'\""),
+        )
+    return AggregateQuery(
+        agg=agg,
+        attribute=match.group("attribute"),
+        etype=match.group("etype").lower(),
+        where=where,
+    )
+
+
+class DocumentAnalytics:
+    """Routes NL queries over a document corpus to RAG or extract+aggregate."""
+
+    def __init__(
+        self,
+        llm: SimLLM,
+        docs: Sequence[Document],
+        *,
+        schema: Dict[str, List[str]],
+        extractor: Optional[EvaporateExtractor] = None,
+        rag: Optional[RAGPipeline] = None,
+    ) -> None:
+        """``schema`` maps entity type -> extractable attribute names."""
+        self.llm = llm
+        self.docs = list(docs)
+        self.schema = schema
+        self.extractor = extractor or EvaporateExtractor(llm)
+        self.rag = rag or RAGPipeline.from_documents(llm, self.docs)
+        self._views: Dict[str, ExtractionResult] = {}
+
+    # ------------------------------------------------------------ extraction
+    def _resolve_etype(self, raw: str) -> str:
+        """Map a (possibly plural-mangled) type word onto a schema key."""
+        candidates = [raw, raw + "s", raw.rstrip("s"), raw + "y"]
+        if raw.endswith("ie"):
+            candidates.append(raw[:-2] + "y")
+        for candidate in candidates:
+            if candidate in self.schema:
+                return candidate
+        raise ExecutionError(
+            f"no schema for entity type {raw!r}; have {sorted(self.schema)}"
+        )
+
+    def materialize_view(self, etype: str) -> ExtractionResult:
+        """Extract (once) the structured view for one entity type."""
+        etype = self._resolve_etype(etype)
+        if etype not in self._views:
+            docs = [d for d in self.docs if d.meta.get("etype") == etype]
+            self._views[etype] = self.extractor.extract(
+                docs, etype, self.schema[etype]
+            )
+        return self._views[etype]
+
+    # --------------------------------------------------------------- queries
+    def ask(self, question: str) -> AnalyticsAnswer:
+        """Answer a point or aggregation query."""
+        calls_before = self.llm.usage.calls
+        usd_before = self.llm.usage.usd
+        agg = parse_aggregate(question)
+        if agg is None:
+            answer = self.rag.answer(question)
+            return AnalyticsAnswer(
+                question=question,
+                answer=answer.text,
+                kind="point",
+                llm_calls=self.llm.usage.calls - calls_before,
+                usd=self.llm.usage.usd - usd_before,
+            )
+        value, rows = self._aggregate(agg)
+        return AnalyticsAnswer(
+            question=question,
+            answer=value,
+            kind="aggregate",
+            llm_calls=self.llm.usage.calls - calls_before,
+            usd=self.llm.usage.usd - usd_before,
+            rows_considered=rows,
+        )
+
+    def _aggregate(self, query: AggregateQuery) -> Tuple[str, int]:
+        view = self.materialize_view(query.etype)
+        table: Table = view.table
+        if query.where is not None:
+            f, op, v = query.where
+            if f not in table.schema:
+                raise ExecutionError(f"filter field {f!r} not in extracted view")
+            # Extracted cells are strings; numeric comparisons coerce lazily.
+            table = table.select(_string_predicate(f, op, v))
+        rows = len(table)
+        if query.agg == "count":
+            return str(rows), rows
+        if query.attribute is None or query.attribute not in table.schema:
+            raise ExecutionError(
+                f"aggregate {query.agg!r} needs a numeric attribute column"
+            )
+        values: List[float] = []
+        for raw in table.column_values(query.attribute):
+            if raw is None:
+                continue
+            try:
+                values.append(float(str(raw)))
+            except ValueError:
+                continue
+        if not values:
+            return "unknown", rows
+        if query.agg == "avg":
+            return f"{sum(values) / len(values):.1f}", rows
+        if query.agg == "sum":
+            return f"{sum(values):.1f}", rows
+        if query.agg == "max":
+            return f"{max(values):.1f}", rows
+        if query.agg == "min":
+            return f"{min(values):.1f}", rows
+        raise ExecutionError(f"unsupported aggregate {query.agg!r}")
+
+
+def _string_predicate(field_name: str, op: str, literal: str):
+    """Predicate over string-typed extracted cells with numeric fallback."""
+
+    def as_float(text: object) -> Optional[float]:
+        try:
+            return float(str(text))
+        except (TypeError, ValueError):
+            return None
+
+    def predicate(row: Dict[str, object]) -> bool:
+        actual = row.get(field_name)
+        if actual is None:
+            return False
+        if op == "contains":
+            return literal.lower() in str(actual).lower()
+        if op in {"==", "!="}:
+            equal = str(actual).strip().lower() == literal.lower()
+            return equal if op == "==" else not equal
+        a, b = as_float(actual), as_float(literal)
+        if a is None or b is None:
+            return False
+        return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+
+    return predicate

@@ -1,0 +1,117 @@
+"""Weak supervision: combine noisy labelling functions without ground truth.
+
+The aggregation core of Evaporate [7]: many cheap, partial, sometimes-buggy
+extraction functions vote on each item's value; an EM-style label model
+estimates each function's accuracy from agreement statistics and produces a
+weighted consensus. Functions may abstain (return ``None``); abstentions
+carry no vote.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+Vote = Optional[Hashable]
+
+
+@dataclass
+class LabelModelResult:
+    """Consensus output of the label model."""
+
+    predictions: Dict[int, Hashable]
+    confidences: Dict[int, float]
+    function_weights: List[float]
+    iterations: int
+
+
+class LabelModel:
+    """Agreement-based EM over a (num_items x num_functions) vote matrix.
+
+    1. Initialize every function's weight to 1 (majority vote).
+    2. E-step: consensus per item = weight-summed vote.
+    3. M-step: function weight = smoothed accuracy against the consensus,
+       floored at ``min_weight`` so a universally-wrong function cannot flip
+       signs, and measured only on items where it voted.
+    4. Repeat until consensus stabilizes or ``max_iter``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iter: int = 10,
+        smoothing: float = 1.0,
+        min_weight: float = 0.05,
+    ) -> None:
+        if max_iter < 1:
+            raise ConfigError("max_iter must be >= 1")
+        self.max_iter = max_iter
+        self.smoothing = smoothing
+        self.min_weight = min_weight
+
+    def fit_predict(self, votes: Sequence[Sequence[Vote]]) -> LabelModelResult:
+        """``votes[item][function]`` -> consensus per item.
+
+        Items whose functions all abstain are absent from ``predictions``.
+        """
+        if not votes:
+            return LabelModelResult({}, {}, [], 0)
+        num_functions = len(votes[0])
+        if any(len(row) != num_functions for row in votes):
+            raise ConfigError("ragged vote matrix")
+        weights = [1.0] * num_functions
+        consensus: Dict[int, Hashable] = {}
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            new_consensus: Dict[int, Hashable] = {}
+            confidences: Dict[int, float] = {}
+            for i, row in enumerate(votes):
+                tally: Dict[Hashable, float] = defaultdict(float)
+                for f, vote in enumerate(row):
+                    if vote is not None:
+                        tally[vote] += weights[f]
+                if not tally:
+                    continue
+                best = max(sorted(tally, key=str), key=lambda v: tally[v])
+                total = sum(tally.values())
+                new_consensus[i] = best
+                confidences[i] = tally[best] / total if total > 0 else 0.0
+            # M-step: per-function accuracy vs consensus.
+            new_weights = []
+            for f in range(num_functions):
+                agree = self.smoothing
+                voted = 2 * self.smoothing
+                for i, row in enumerate(votes):
+                    vote = row[f]
+                    if vote is None or i not in new_consensus:
+                        continue
+                    voted += 1
+                    if vote == new_consensus[i]:
+                        agree += 1
+                new_weights.append(max(agree / voted, self.min_weight))
+            converged = new_consensus == consensus
+            consensus = new_consensus
+            weights = new_weights
+            if converged:
+                break
+        return LabelModelResult(
+            predictions=consensus,
+            confidences=confidences,
+            function_weights=weights,
+            iterations=iterations,
+        )
+
+
+def majority_vote(votes: Sequence[Sequence[Vote]]) -> Dict[int, Hashable]:
+    """Unweighted baseline: plain plurality per item (abstentions ignored)."""
+    out: Dict[int, Hashable] = {}
+    for i, row in enumerate(votes):
+        counts = Counter(v for v in row if v is not None)
+        if counts:
+            # Deterministic tie-break by string representation.
+            best = max(sorted(counts, key=str), key=lambda v: counts[v])
+            out[i] = best
+    return out

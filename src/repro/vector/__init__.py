@@ -1,0 +1,29 @@
+"""Vector indexes and the vector database (Figure 1 "Vec Index" / "Vector Database")."""
+
+from .base import SearchHit, VectorIndex
+from .database import Collection, QueryResult, Record, VectorDatabase
+from .flat import FlatIndex
+from .hnsw import HNSWIndex
+from .ivf import IVFIndex
+from .kmeans import KMeansResult, kmeans
+from .lsh import LSHIndex
+from .metrics import normalize_rows, resolve_metric
+from .pq import PQIndex
+
+__all__ = [
+    "SearchHit",
+    "VectorIndex",
+    "Collection",
+    "QueryResult",
+    "Record",
+    "VectorDatabase",
+    "FlatIndex",
+    "HNSWIndex",
+    "IVFIndex",
+    "KMeansResult",
+    "kmeans",
+    "LSHIndex",
+    "normalize_rows",
+    "resolve_metric",
+    "PQIndex",
+]

@@ -1,0 +1,131 @@
+"""Common interface of all vector indexes."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, IndexError_
+from .metrics import normalize_rows, resolve_metric
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One nearest-neighbour result."""
+
+    id: str
+    score: float
+
+
+class VectorIndex(abc.ABC):
+    """Abstract nearest-neighbour index over string-keyed vectors.
+
+    Concrete classes implement :meth:`_search_ids` over internal row
+    numbers; this base handles id bookkeeping, dimension checks, metric
+    normalization and deletion masking, so index implementations stay
+    focused on their data structure.
+    """
+
+    def __init__(self, dim: int, metric: str = "cosine") -> None:
+        if dim <= 0:
+            raise IndexError_(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.metric = metric
+        self._score_fn = resolve_metric(metric)
+        self._ids: List[str] = []
+        self._id_to_row: Dict[str, int] = {}
+        self._vectors = np.zeros((0, dim), dtype=np.float32)
+        self._deleted = np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------ ingestion
+    def _prepare(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"expected dim {self.dim}, got {vectors.shape[1]}"
+            )
+        if self.metric == "cosine":
+            vectors = normalize_rows(vectors)
+        return vectors
+
+    def add(self, ids: Sequence[str], vectors: np.ndarray) -> None:
+        """Insert vectors under the given ids (ids must be new)."""
+        vectors = self._prepare(vectors)
+        if len(ids) != vectors.shape[0]:
+            raise IndexError_(f"{len(ids)} ids for {vectors.shape[0]} vectors")
+        for vid in ids:
+            if vid in self._id_to_row:
+                raise IndexError_(f"duplicate id {vid!r}; use remove() first")
+        start = len(self._ids)
+        self._ids.extend(ids)
+        for offset, vid in enumerate(ids):
+            self._id_to_row[vid] = start + offset
+        self._vectors = np.vstack([self._vectors, vectors])
+        self._deleted = np.concatenate([self._deleted, np.zeros(len(ids), dtype=bool)])
+        self._on_add(np.arange(start, start + len(ids)), vectors)
+
+    def remove(self, vid: str) -> bool:
+        """Tombstone one id; returns False if absent."""
+        row = self._id_to_row.pop(vid, None)
+        if row is None:
+            return False
+        self._deleted[row] = True
+        self._on_remove(row)
+        return True
+
+    # --------------------------------------------------------------- search
+    def search(self, query: np.ndarray, k: int = 10) -> List[SearchHit]:
+        """Top-``k`` most similar live vectors to ``query``."""
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise DimensionMismatchError(f"query dim {query.shape[0]} != {self.dim}")
+        if k <= 0 or len(self) == 0:
+            return []
+        if self.metric == "cosine":
+            norm = float(np.linalg.norm(query))
+            if norm > 0:
+                query = query / norm
+        rows_scores = self._search_ids(query, k)
+        hits = [
+            SearchHit(id=self._ids[row], score=float(score))
+            for row, score in rows_scores
+            if not self._deleted[row]
+        ]
+        return hits[:k]
+
+    def __len__(self) -> int:
+        return int((~self._deleted).sum())
+
+    @property
+    def total_rows(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, vid: str) -> bool:
+        return vid in self._id_to_row
+
+    def vector(self, vid: str) -> np.ndarray:
+        """The stored (possibly normalized) vector for ``vid``."""
+        row = self._id_to_row.get(vid)
+        if row is None:
+            raise IndexError_(f"unknown id {vid!r}")
+        return self._vectors[row].copy()
+
+    # ------------------------------------------------------------ subclass
+    @abc.abstractmethod
+    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+        """Return candidate ``(row, score)`` pairs, best first.
+
+        May return more than ``k`` candidates; the base class masks deleted
+        rows and truncates.
+        """
+
+    def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
+        """Hook: incorporate new rows into the index structure."""
+
+    def _on_remove(self, row: int) -> None:
+        """Hook: react to a tombstoned row."""

@@ -1,0 +1,24 @@
+"""Exact brute-force index: the recall=1.0 baseline every ANN compares to."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Scans every vector; O(n·d) per query, exact results."""
+
+    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+        scores = self._score_fn(query, self._vectors)
+        scores = np.where(self._deleted, -np.inf, scores)
+        live = int((~self._deleted).sum())
+        k = min(k, live)
+        if k == 0:
+            return []
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [(int(row), float(scores[row])) for row in top if np.isfinite(scores[row])]

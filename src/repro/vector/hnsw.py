@@ -1,0 +1,200 @@
+"""HNSW graph index (Malkov & Yashunin) — the workhorse ANN structure.
+
+A hierarchy of proximity graphs: the sparse top layers route a greedy search
+into the right region, the dense bottom layer (layer 0) holds every point.
+Search cost is roughly O(log n) hops, giving the sub-linear latency that
+makes vector databases practical for RAG (paper §2.2.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..utils import derive_rng
+from .base import VectorIndex
+
+
+class HNSWIndex(VectorIndex):
+    """Hierarchical Navigable Small World graph.
+
+    Parameters
+    ----------
+    m:
+        Max neighbours per node on upper layers (layer 0 allows ``2*m``).
+    ef_construction:
+        Candidate-list width during insertion; larger = better graph, slower
+        build.
+    ef_search:
+        Candidate-list width during queries; the recall/latency dial.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "cosine",
+        *,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 50,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, metric)
+        if m < 2:
+            raise IndexError_(f"m must be >= 2, got {m}")
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = max(ef_construction, m)
+        self.ef_search = ef_search
+        self._level_mult = 1.0 / math.log(m)
+        self._rng = derive_rng(seed, "hnsw")
+        # _graph[layer][row] -> list of neighbour rows
+        self._graph: List[Dict[int, List[int]]] = []
+        self._node_level: Dict[int, int] = {}
+        self._entry: int = -1
+        self._entry_level: int = -1
+
+    # -------------------------------------------------------------- scoring
+    def _sim(self, query: np.ndarray, row: int) -> float:
+        return float(self._score_fn(query, self._vectors[row][None, :])[0])
+
+    def _sim_many(self, query: np.ndarray, rows: List[int]) -> np.ndarray:
+        return self._score_fn(query, self._vectors[np.asarray(rows, dtype=np.int64)])
+
+    # ------------------------------------------------------------ insertion
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
+
+    def _search_layer(
+        self, query: np.ndarray, entry_rows: List[int], ef: int, layer: int
+    ) -> List[Tuple[float, int]]:
+        """Best-first search on one layer; returns up to ``ef`` (sim, row)."""
+        adjacency = self._graph[layer]
+        visited: Set[int] = set(entry_rows)
+        # Max-heap of candidates by similarity (negated for heapq);
+        # min-heap of current best results by similarity.
+        candidates: List[Tuple[float, int]] = []
+        results: List[Tuple[float, int]] = []
+        for row in entry_rows:
+            sim = self._sim(query, row)
+            heapq.heappush(candidates, (-sim, row))
+            heapq.heappush(results, (sim, row))
+        while candidates:
+            neg_sim, row = heapq.heappop(candidates)
+            if results and -neg_sim < results[0][0] and len(results) >= ef:
+                break
+            neighbours = [n for n in adjacency.get(row, []) if n not in visited]
+            if not neighbours:
+                continue
+            visited.update(neighbours)
+            sims = self._sim_many(query, neighbours)
+            for n_row, sim in zip(neighbours, sims):
+                sim = float(sim)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(candidates, (-sim, n_row))
+                    heapq.heappush(results, (sim, n_row))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted(results, reverse=True)
+
+    def _select_neighbours(
+        self, query: np.ndarray, candidates: List[Tuple[float, int]], m: int
+    ) -> List[int]:
+        """Heuristic neighbour selection (keeps diverse edges)."""
+        selected: List[int] = []
+        for sim, row in sorted(candidates, reverse=True):
+            if len(selected) >= m:
+                break
+            # Diversity check: skip a candidate dominated by an already
+            # selected neighbour (closer to it than to the query).
+            dominated = False
+            vec = self._vectors[row]
+            for srow in selected:
+                if self._sim(vec, srow) > sim:
+                    dominated = True
+                    break
+            if not dominated:
+                selected.append(row)
+        if len(selected) < m:  # backfill with remaining best
+            chosen = set(selected)
+            for sim, row in sorted(candidates, reverse=True):
+                if len(selected) >= m:
+                    break
+                if row not in chosen:
+                    selected.append(row)
+                    chosen.add(row)
+        return selected
+
+    def _link(self, layer: int, row: int, neighbours: List[int]) -> None:
+        adjacency = self._graph[layer]
+        adjacency[row] = list(neighbours)
+        cap = self.m0 if layer == 0 else self.m
+        for n_row in neighbours:
+            links = adjacency.setdefault(n_row, [])
+            links.append(row)
+            if len(links) > cap:
+                # Prune with the diversity heuristic, not raw similarity:
+                # similarity-only pruning severs the long-range edges that
+                # keep distinct clusters mutually reachable, fragmenting
+                # the graph (the failure mode the original paper's
+                # "heuristic" neighbour selection exists to prevent).
+                vec = self._vectors[n_row]
+                sims = self._sim_many(vec, links)
+                candidates = [(float(s), l) for s, l in zip(sims, links)]
+                adjacency[n_row] = self._select_neighbours(vec, candidates, cap)
+
+    def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
+        for row in rows:
+            self._insert(int(row))
+
+    def _insert(self, row: int) -> None:
+        level = self._random_level()
+        self._node_level[row] = level
+        while len(self._graph) <= level:
+            self._graph.append({})
+        query = self._vectors[row]
+        if self._entry < 0:
+            for layer in range(level + 1):
+                self._graph[layer][row] = []
+            self._entry, self._entry_level = row, level
+            return
+        entry = [self._entry]
+        # Greedy descent through layers above the node's level.
+        for layer in range(self._entry_level, level, -1):
+            entry = [self._search_layer(query, entry, 1, layer)[0][1]]
+        # Insert with full candidate search below.
+        for layer in range(min(level, self._entry_level), -1, -1):
+            candidates = self._search_layer(query, entry, self.ef_construction, layer)
+            m = self.m0 if layer == 0 else self.m
+            neighbours = self._select_neighbours(query, candidates, m)
+            self._link(layer, row, neighbours)
+            entry = [r for _, r in candidates]
+        if level > self._entry_level:
+            self._entry, self._entry_level = row, level
+
+    # --------------------------------------------------------------- search
+    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+        if self._entry < 0:
+            return []
+        entry = [self._entry]
+        for layer in range(self._entry_level, 0, -1):
+            entry = [self._search_layer(query, entry, 1, layer)[0][1]]
+        ef = max(self.ef_search, k)
+        results = self._search_layer(query, entry, ef, 0)
+        return [(row, sim) for sim, row in results]
+
+    # ----------------------------------------------------------- statistics
+    def graph_stats(self) -> Dict[str, float]:
+        """Degree statistics (useful in tests and docs)."""
+        if not self._graph:
+            return {"layers": 0, "mean_degree_l0": 0.0}
+        degrees = [len(v) for v in self._graph[0].values()]
+        return {
+            "layers": len(self._graph),
+            "mean_degree_l0": float(np.mean(degrees)) if degrees else 0.0,
+            "nodes_l0": len(self._graph[0]),
+        }

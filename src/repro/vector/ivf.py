@@ -1,0 +1,111 @@
+"""IVF (inverted-file) index: k-means coarse quantizer + probed cell scan.
+
+Queries scan only the ``nprobe`` cells whose centroids are closest to the
+query, trading recall for a ~nlist/nprobe reduction in scanned vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import IndexError_
+from .base import VectorIndex
+from .kmeans import kmeans
+
+
+class IVFIndex(VectorIndex):
+    """Inverted-file ANN index.
+
+    Parameters
+    ----------
+    nlist:
+        Number of coarse cells (k-means centroids).
+    nprobe:
+        Cells scanned per query (may be changed between queries).
+    train_size:
+        Rows required before the quantizer trains; until then the index
+        answers by brute force (as faiss does before training).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "cosine",
+        *,
+        nlist: int = 32,
+        nprobe: int = 4,
+        train_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, metric)
+        if nlist <= 0 or nprobe <= 0:
+            raise IndexError_("nlist and nprobe must be positive")
+        self.nlist = nlist
+        self.nprobe = min(nprobe, nlist)
+        self.train_size = train_size
+        self.seed = seed
+        self._centroids: np.ndarray = np.zeros((0, dim), dtype=np.float32)
+        self._cells: Dict[int, List[int]] = {}
+        self._trained = False
+
+    # ------------------------------------------------------------- training
+    def _maybe_train(self) -> None:
+        if self._trained or self.total_rows < self.train_size:
+            return
+        live_rows = np.flatnonzero(~self._deleted)
+        result = kmeans(
+            self._vectors[live_rows],
+            min(self.nlist, len(live_rows)),
+            seed=self.seed,
+        )
+        self._centroids = result.centroids
+        self._cells = {}
+        for local, row in enumerate(live_rows):
+            self._cells.setdefault(int(result.assignments[local]), []).append(int(row))
+        self._trained = True
+
+    def _assign_cell(self, vector: np.ndarray) -> int:
+        diff = self._centroids - vector
+        return int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+
+    def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
+        if self._trained:
+            for row, vec in zip(rows, vectors):
+                self._cells.setdefault(self._assign_cell(vec), []).append(int(row))
+        else:
+            self._maybe_train()
+
+    # --------------------------------------------------------------- search
+    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+        self._maybe_train()
+        if not self._trained:
+            rows = np.flatnonzero(~self._deleted)
+        else:
+            diff = self._centroids - query
+            cell_dist = np.einsum("ij,ij->i", diff, diff)
+            probe = np.argsort(cell_dist)[: self.nprobe]
+            row_list: List[int] = []
+            for cell in probe:
+                row_list.extend(self._cells.get(int(cell), []))
+            rows = np.asarray(row_list, dtype=np.int64)
+        if rows.size == 0:
+            return []
+        scores = self._score_fn(query, self._vectors[rows])
+        scores = np.where(self._deleted[rows], -np.inf, scores)
+        order = np.argsort(-scores)[: max(k, 1)]
+        return [
+            (int(rows[i]), float(scores[i])) for i in order if np.isfinite(scores[i])
+        ]
+
+    # --------------------------------------------------------- maintenance
+    def scanned_fraction(self) -> float:
+        """Approximate fraction of the index a query touches (for reports)."""
+        if not self._trained or not self._cells:
+            return 1.0
+        total = sum(len(rows) for rows in self._cells.values())
+        if total == 0:
+            return 1.0
+        probed = sorted((len(rows) for rows in self._cells.values()), reverse=True)
+        return sum(probed[: self.nprobe]) / total

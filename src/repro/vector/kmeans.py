@@ -1,0 +1,89 @@
+"""Minimal seeded k-means (Lloyd's algorithm with k-means++ init).
+
+Shared by the IVF coarse quantizer, product quantization codebooks, and the
+cluster-based coreset selector in ``repro.prep.selection``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import derive_rng
+
+
+@dataclass
+class KMeansResult:
+    """Fitted centroids plus per-point assignments and inertia."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+
+
+def _plus_plus_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=data.dtype)
+    first = int(rng.integers(0, n))
+    centroids[0] = data[first]
+    closest_sq = np.full(n, np.inf)
+    for i in range(1, k):
+        diff = data - centroids[i - 1]
+        dist_sq = np.einsum("ij,ij->i", diff, diff)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            centroids[i] = data[int(rng.integers(0, n))]
+            continue
+        probs = closest_sq / total
+        centroids[i] = data[int(rng.choice(n, p=probs))]
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 25,
+    seed: int = 0,
+    tol: float = 1e-4,
+) -> KMeansResult:
+    """Fit k-means on ``data`` (``(n, d)``); deterministic for a given seed."""
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ConfigError("kmeans requires a non-empty (n, d) matrix")
+    n = data.shape[0]
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    k = min(k, n)
+    rng = derive_rng(seed, "kmeans", n, k)
+    centroids = _plus_plus_init(data, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+    prev_inertia: Optional[float] = None
+    inertia = 0.0
+    for _ in range(max_iter):
+        # Assign: squared distance via the expansion trick.
+        cross = data @ centroids.T
+        c_norms = np.einsum("ij,ij->i", centroids, centroids)
+        d_norms = np.einsum("ij,ij->i", data, data)
+        dist_sq = d_norms[:, None] - 2.0 * cross + c_norms[None, :]
+        assignments = np.argmin(dist_sq, axis=1)
+        inertia = float(dist_sq[np.arange(n), assignments].sum())
+        # Update.
+        for c in range(k):
+            members = data[assignments == c]
+            if members.shape[0] > 0:
+                centroids[c] = members.mean(axis=0)
+            else:  # re-seed empty cluster at the farthest point
+                far = int(np.argmax(dist_sq.min(axis=1)))
+                centroids[c] = data[far]
+        if prev_inertia is not None and abs(prev_inertia - inertia) <= tol * max(
+            prev_inertia, 1e-12
+        ):
+            break
+        prev_inertia = inertia
+    return KMeansResult(centroids=centroids, assignments=assignments, inertia=inertia)

@@ -1,0 +1,47 @@
+"""Distance/similarity metrics shared by all vector indexes.
+
+All indexes operate in *similarity* space (higher is better). Cosine assumes
+callers may pass unnormalized vectors; indexes normalize on ingest when the
+metric is cosine so search is a plain dot product.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def dot_scores(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Inner-product similarity of ``query`` against each row of ``matrix``."""
+    return matrix @ query
+
+
+def l2_scores(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Negative squared euclidean distance (so higher is better)."""
+    diff = matrix - query
+    return -np.einsum("ij,ij->i", diff, diff)
+
+
+METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "cosine": dot_scores,  # rows are normalized on ingest
+    "dot": dot_scores,
+    "l2": l2_scores,
+}
+
+
+def resolve_metric(name: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Look up a metric by name, raising :class:`ConfigError` on unknown."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ConfigError(f"unknown metric {name!r}; choose from {sorted(METRICS)}") from None
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise L2 normalization (zero rows left untouched)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms

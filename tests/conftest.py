@@ -1,0 +1,52 @@
+"""Shared fixtures: one small world/LLM/corpus reused across the suite."""
+
+import pytest
+
+from repro.data import DocumentRenderer, QAGenerator, World, WorldConfig
+from repro.data.synth import CorpusBuilder, CorpusConfig
+from repro.llm import make_llm
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World(WorldConfig(num_cities=12, num_companies=16, num_people=30, num_products=24, seed=3))
+
+
+@pytest.fixture(scope="session")
+def docs(world):
+    return DocumentRenderer(world, seed=5).render_corpus()
+
+
+@pytest.fixture(scope="session")
+def company_docs(world):
+    return DocumentRenderer(world, seed=5).render_corpus(entity_types=["company"])
+
+
+@pytest.fixture(scope="session")
+def qa(world):
+    return QAGenerator(world, seed=7)
+
+
+@pytest.fixture()
+def llm(world):
+    return make_llm("sim-base", world=world, seed=9)
+
+
+@pytest.fixture()
+def big_llm(world):
+    return make_llm("sim-large", world=world, seed=9)
+
+
+@pytest.fixture(scope="session")
+def corpus_builder():
+    return CorpusBuilder(CorpusConfig(docs_per_domain=40, seed=13))
+
+
+@pytest.fixture(scope="session")
+def training_corpus(corpus_builder):
+    return corpus_builder.build()
+
+
+@pytest.fixture(scope="session")
+def eval_texts(corpus_builder):
+    return [d.text for d in corpus_builder.eval_set(per_domain=10)]

@@ -1,0 +1,192 @@
+"""Cross-module integration tests: compositions the unit tests don't cover."""
+
+import copy
+
+import pytest
+
+from repro import DataAI, DataAIConfig
+from repro.data import WorldConfig
+from repro.llm import CachedLLM, make_llm
+from repro.rag import DenseRetriever, RAGPipeline, chunk_corpus
+from repro.vector import HNSWIndex, IVFIndex
+
+
+class TestRAGOverANNIndexes:
+    """The RAG pipeline should work unchanged over any vector index."""
+
+    @pytest.mark.parametrize(
+        "index_factory",
+        [
+            lambda dim: HNSWIndex(dim, m=8, ef_search=40),
+            lambda dim: IVFIndex(dim, nlist=16, nprobe=8, train_size=64),
+        ],
+    )
+    def test_answer_quality_holds_on_ann(self, world, docs, qa, index_factory):
+        llm = make_llm("sim-base", world=world, seed=60)
+        ann_pipeline = RAGPipeline.from_documents(
+            llm, docs, index=index_factory(llm.embedder.dim)
+        )
+        questions = qa.single_hop(20)
+        ann_correct = sum(
+            ann_pipeline.answer(q.text).text == q.answer for q in questions
+        )
+        assert ann_correct >= 14  # near-exact retrieval through ANN
+
+
+class TestCachedEngineComposition:
+    def test_rag_pipeline_accepts_cached_llm(self, world, docs, qa):
+        backing = make_llm("sim-base", world=world, seed=61)
+        cached = CachedLLM(backing, semantic_threshold=0.99)
+        pipeline = RAGPipeline.from_documents(cached, docs)
+        question = qa.single_hop(1)[0]
+        first = pipeline.answer(question.text)
+        calls = backing.usage.calls
+        second = pipeline.answer(question.text)
+        assert backing.usage.calls == calls  # entire second pass from cache
+        assert second.text == first.text
+
+    def test_cached_llm_through_semantic_operators(self, world):
+        from repro.unstructured import SemanticOperators
+
+        backing = make_llm("sim-base", world=world, seed=61)
+        cached = CachedLLM(backing)
+        ops = SemanticOperators(cached)
+        records = [{"name": c.name, **c.attributes} for c in world.companies[:8]]
+        ops.sem_filter(records, "founded > 1990")
+        calls = backing.usage.calls
+        ops.sem_filter(records, "founded > 1990")  # identical batch
+        assert backing.usage.calls == calls
+
+
+class TestDataQualityToTrainingLoss:
+    """Data4LLM end-to-end: prep quality feeds the training simulator."""
+
+    def test_dedup_fraction_improves_simulated_loss(self, training_corpus):
+        from repro.prep import MinHashDeduper
+        from repro.training import (
+            ClusterSpec,
+            ParallelConfig,
+            TrainingRun,
+            get_model_spec,
+        )
+
+        result = MinHashDeduper(seed=1).dedup(training_corpus)
+        # Duplicated tokens add no information: effective-data quality is
+        # the deduplicated fraction of the token stream.
+        quality = len(result.kept) / len(training_corpus)
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=8, mtbf_hours=1000)
+        config = ParallelConfig(strategy="zero2", dp=8)
+        spec = get_model_spec("tiny-125m")
+        dirty = TrainingRun(spec, config, cluster, data_quality=quality, seed=1).run(50)
+        clean = TrainingRun(spec, config, cluster, data_quality=1.0, seed=1).run(50)
+        assert clean.final_loss < dirty.final_loss
+
+
+class TestEngineExtensions:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return DataAI(
+            DataAIConfig(
+                model="sim-base",
+                seed=62,
+                world=WorldConfig(
+                    num_cities=12, num_companies=16, num_people=30,
+                    num_products=24, seed=3,
+                ),
+            )
+        )
+
+    def test_nl2viz_over_engine_lake(self, engine):
+        from repro.datalake import NL2VizEngine
+
+        tables = {a.name: a.table for a in engine.lake.by_modality("table")}
+        viz = NL2VizEngine(engine.llm, tables)
+        result = viz.ask("plot average revenue_musd of companies by industry")
+        assert result.points and "#" in result.chart
+
+    def test_rewriter_over_engine_lake(self, engine):
+        from repro.dbtasks import QueryRewriter
+
+        tables = {a.name: a.table for a in engine.lake.by_modality("table")}
+        outcome = QueryRewriter(tables).rewrite_with_rules(
+            "SELECT DISTINCT name FROM companies"
+        )
+        assert outcome.accepted and outcome.equivalent
+
+    def test_agent_with_viz_tool(self, engine):
+        """Tools built from any subsystem slot into the agent registry."""
+        from repro.agents import ToolRegistry
+        from repro.agents.agent import Agent
+        from repro.datalake import NL2VizEngine
+
+        tables = {a.name: a.table for a in engine.lake.by_modality("table")}
+        viz = NL2VizEngine(engine.llm, tables)
+        tools = ToolRegistry(embedder=engine.embedder)
+        tools.register_fn(
+            "chart",
+            "plot chart draw average of a table by a column",
+            lambda q: viz.ask(q).chart or "no chart",
+        )
+        tools.register_fn(
+            "search_docs",
+            "look up facts about people companies in documents",
+            lambda q: engine.rag.answer(q).text,
+        )
+        agent = Agent(engine.llm, tools)
+        trace = agent.run("plot average revenue_musd of companies by industry")
+        assert any(s.call.tool == "chart" for s in trace.steps)
+
+
+class TestServingEndToEndWithEverything:
+    def test_paged_chunked_sjf_composition(self):
+        """All serving features enabled at once: still correct timelines."""
+        from repro.inference import (
+            PagedAllocator,
+            ServingEngine,
+            ShortestJobFirstScheduler,
+            poisson_workload,
+            summarize,
+        )
+
+        requests = poisson_workload(rate_rps=10, duration_s=15, seed=63)
+        engine = ServingEngine(
+            ShortestJobFirstScheduler(max_batch=32, chunk_tokens=256),
+            allocator=PagedAllocator(40_000, block_size=16),
+        )
+        engine.run(requests)
+        report = summarize(requests)
+        assert report.completed == len(requests)
+        for r in requests:
+            assert len(r.token_times) == r.output_tokens
+            assert r.token_times == sorted(r.token_times)
+
+    def test_prefix_sharing_in_live_engine(self):
+        """keep_prefix_on_release turns finished requests into warm prefixes."""
+        from repro.inference import (
+            ContinuousBatchScheduler,
+            PagedAllocator,
+            Request,
+            ServingEngine,
+        )
+
+        allocator = PagedAllocator(50_000, block_size=16)
+        engine = ServingEngine(
+            ContinuousBatchScheduler(max_batch=8),
+            allocator=allocator,
+            keep_prefix_on_release=True,
+        )
+        first = Request("turn-0", 0.0, prompt_tokens=500, output_tokens=20)
+        engine.run([first])
+        assert allocator.prefix_ids() == ["turn-0"]
+        # A follow-up naming the finished request as its prefix reuses KV.
+        follow = Request(
+            "turn-1", engine.now + 1.0, prompt_tokens=600, output_tokens=10,
+            prefix_id="turn-0", prefix_tokens=520,
+        )
+        engine2 = ServingEngine(
+            ContinuousBatchScheduler(max_batch=8), allocator=allocator
+        )
+        engine2.now = follow.arrival_s
+        engine2.run([follow])
+        assert follow.prefix_hit
+        assert allocator.stats.shared_saved_tokens >= 500

@@ -1,0 +1,138 @@
+"""Tests for the simulated visual modality and its lake integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ImageRenderer,
+    VisualQAModel,
+    World,
+    WorldConfig,
+    classification_accuracy,
+)
+from repro.data.multimodal import category_prototype
+from repro.datalake import DataLake, LakeAnalytics
+from repro.errors import ConfigError
+from repro.llm import make_llm
+
+
+@pytest.fixture(scope="module")
+def mm_world():
+    return World(WorldConfig(seed=7))
+
+
+@pytest.fixture(scope="module")
+def images(mm_world):
+    return ImageRenderer(mm_world, seed=7).render_product_images()
+
+
+@pytest.fixture(scope="module")
+def vqa(mm_world):
+    categories = sorted({p.attributes["category"] for p in mm_world.products})
+    return VisualQAModel(categories)
+
+
+class TestImageRenderer:
+    def test_one_image_per_product(self, mm_world, images):
+        assert len(images) == len(mm_world.products)
+
+    def test_features_unit_norm(self, images):
+        for image in images[:10]:
+            assert np.isclose(np.linalg.norm(image.features), 1.0, atol=1e-6)
+
+    def test_captions_state_maker(self, mm_world, images):
+        captioned = [img for img in images if img.caption]
+        assert captioned  # caption_rate > 0
+        for image in captioned[:10]:
+            assert mm_world.lookup(image.subject, "maker") in image.caption
+
+    def test_noise_validation(self, mm_world):
+        with pytest.raises(ConfigError):
+            ImageRenderer(mm_world, noise=-0.1)
+
+    def test_deterministic(self, mm_world):
+        a = ImageRenderer(mm_world, seed=3).render_product_images()
+        b = ImageRenderer(mm_world, seed=3).render_product_images()
+        assert all(np.allclose(x.features, y.features) for x, y in zip(a, b))
+
+
+class TestVisualQA:
+    def test_prototype_stability(self):
+        assert np.allclose(
+            category_prototype("camera drone"), category_prototype("camera drone")
+        )
+        assert not np.allclose(
+            category_prototype("camera drone"), category_prototype("edge router")
+        )
+
+    def test_classification_accuracy_high_at_low_noise(self, mm_world):
+        clean = ImageRenderer(mm_world, noise=0.05, seed=1).render_product_images()
+        categories = sorted({p.attributes["category"] for p in mm_world.products})
+        model = VisualQAModel(categories)
+        assert classification_accuracy(model, clean, mm_world) >= 0.95
+
+    def test_accuracy_degrades_with_noise(self, mm_world, vqa):
+        low = ImageRenderer(mm_world, noise=0.1, seed=2).render_product_images()
+        high = ImageRenderer(mm_world, noise=1.2, seed=2).render_product_images()
+        assert classification_accuracy(vqa, low, mm_world) > classification_accuracy(
+            vqa, high, mm_world
+        )
+
+    def test_caption_attribute_answering(self, mm_world, images, vqa):
+        captioned = next(img for img in images if img.caption)
+        assert vqa.answer(captioned, "maker") == mm_world.lookup(
+            captioned.subject, "maker"
+        )
+
+    def test_unknown_attribute_abstains(self, images, vqa):
+        uncaptioned = next(img for img in images if not img.caption)
+        assert vqa.answer(uncaptioned, "maker") is None
+
+    def test_extract_rows_shape(self, images, vqa):
+        rows = vqa.extract_rows(images[:5], ["category", "maker"])
+        assert len(rows) == 5
+        assert set(rows[0]) == {"name", "category", "maker"}
+
+    def test_requires_categories(self):
+        with pytest.raises(ConfigError):
+            VisualQAModel([])
+
+
+class TestImageLake:
+    @pytest.fixture(scope="class")
+    def analytics(self, mm_world, images):
+        lake = DataLake.from_world(
+            mm_world,
+            modality_by_type={"company": "table", "city": "table", "person": "document"},
+        )
+        lake.add_images("products", images)
+        llm = make_llm("sim-base", world=mm_world, seed=7)
+        return LakeAnalytics(
+            lake,
+            llm,
+            doc_attributes={
+                "person": ["employer", "role", "age", "residence"],
+                "product": ["category", "maker", "price_usd"],
+            },
+        )
+
+    def test_image_asset_catalogued(self, analytics):
+        asset = analytics.lake.get("img:products")
+        assert asset.modality == "image"
+        assert "image collection" in asset.description
+
+    def test_count_by_visual_category(self, analytics, mm_world):
+        category = mm_world.products[0].attributes["category"]
+        trace = analytics.ask(f"count products where category == {category}")
+        gold = sum(
+            1 for p in mm_world.products if p.attributes["category"] == category
+        )
+        assert not trace.failed
+        assert abs(int(trace.answer) - gold) <= max(2, gold // 3)
+
+    def test_plan_extracts_from_images(self, analytics):
+        plan, groundings = analytics.planner.plan(
+            "count products where category == database engine"
+        )
+        assert plan.steps[0].op == "extract"
+        assert groundings["product"].chosen.modality == "image"

@@ -1,0 +1,138 @@
+"""Tests for the tokenizer and embedding substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, TokenizerError
+from repro.llm.embedding import EmbeddingModel, cosine_similarity, top_k_cosine
+from repro.llm.tokenizer import Tokenizer, count_tokens, default_tokenizer
+
+
+class TestTokenizer:
+    def test_pieces_lossless(self):
+        tok = Tokenizer()
+        text = "Hello, world!  Multi  spaces."
+        assert "".join(tok.pieces(text)) == text
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=60)
+    def test_pieces_lossless_property(self, text):
+        tok = default_tokenizer()
+        assert "".join(tok.pieces(text)) == text
+
+    def test_long_words_split(self):
+        tok = Tokenizer(max_word_len=4)
+        pieces = tok.pieces("abcdefgh")
+        assert pieces == ["abcd", "efgh"]
+
+    def test_count_excludes_whitespace(self):
+        assert count_tokens("one two three") == 3
+
+    def test_count_includes_punctuation(self):
+        assert count_tokens("yes, no.") == 4
+
+    def test_token_id_stable_and_bounded(self):
+        tok = Tokenizer(vocab_size=1000)
+        assert tok.token_id("hello") == tok.token_id("hello")
+        assert 0 <= tok.token_id("hello") < 1000
+
+    def test_encode_with_pieces_roundtrip(self):
+        tok = Tokenizer()
+        text = "A small test."
+        pairs = tok.encode_with_pieces(text)
+        assert tok.decode_pieces([p for _, p in pairs]) == text
+
+    def test_content_tokens_lowercased_alnum(self):
+        tok = Tokenizer()
+        assert tok.content_tokens("Hello, World 42!") == ["hello", "world", "42"]
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(TokenizerError):
+            Tokenizer(vocab_size=10)
+
+    def test_rejects_tiny_word_len(self):
+        with pytest.raises(TokenizerError):
+            Tokenizer(max_word_len=1)
+
+
+class TestEmbedding:
+    def test_deterministic(self):
+        model = EmbeddingModel(seed=1)
+        assert np.allclose(model.embed("the cat"), model.embed("the cat"))
+
+    def test_unit_norm(self):
+        model = EmbeddingModel()
+        assert np.isclose(np.linalg.norm(model.embed("some text here")), 1.0, atol=1e-5)
+
+    def test_lexical_similarity_ordering(self):
+        model = EmbeddingModel()
+        close = model.similarity("the red fox jumps", "the red fox runs")
+        far = model.similarity("the red fox jumps", "quarterly revenue grew")
+        assert close > far
+
+    def test_stem_smoothing(self):
+        model = EmbeddingModel()
+        with_stem = model.similarity("configure", "configuration")
+        no_stem = EmbeddingModel(stem_weight=0.0).similarity("configure", "configuration")
+        assert with_stem > no_stem
+
+    def test_bigram_order_sensitivity(self):
+        model = EmbeddingModel(bigram_weight=0.5)
+        same = model.similarity("berlin to rome", "berlin to rome")
+        swapped = model.similarity("berlin to rome", "rome to berlin")
+        assert same > swapped
+
+    def test_different_seeds_differ(self):
+        a = EmbeddingModel(seed=1).embed("hello world")
+        b = EmbeddingModel(seed=2).embed("hello world")
+        assert not np.allclose(a, b)
+
+    def test_empty_text_stable(self):
+        model = EmbeddingModel()
+        assert np.allclose(model.embed(""), model.embed("   "))
+
+    def test_batch_shape(self):
+        model = EmbeddingModel(dim=32)
+        matrix = model.embed_batch(["a b", "c d", "e f"])
+        assert matrix.shape == (3, 32)
+        assert model.embed_batch([]).shape == (0, 32)
+
+    def test_idf_downweights_common_tokens(self):
+        corpus = [f"common word doc {i}" for i in range(50)] + ["rare gem"]
+        model = EmbeddingModel().fit_idf(corpus)
+        plain = EmbeddingModel()
+        # With IDF, the rare token dominates a mixed query more.
+        sim_fit = model.similarity("common gem", "rare gem")
+        sim_plain = plain.similarity("common gem", "rare gem")
+        assert sim_fit > sim_plain
+
+    def test_rejects_small_dim(self):
+        with pytest.raises(ConfigError):
+            EmbeddingModel(dim=4)
+
+
+class TestCosineHelpers:
+    def test_cosine_similarity_bounds(self):
+        a, b = np.array([1.0, 0.0]), np.array([0.0, 2.0])
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, b) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_top_k_order_and_exclude(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((20, 8)).astype(np.float32)
+        matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+        query = matrix[3]
+        hits = top_k_cosine(query, matrix, 5)
+        assert hits[0][0] == 3
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+        hits_excl = top_k_cosine(query, matrix, 5, exclude={3})
+        assert all(i != 3 for i, _ in hits_excl)
+
+    def test_top_k_empty(self):
+        assert top_k_cosine(np.ones(4), np.zeros((0, 4)), 3) == []
