@@ -1,0 +1,516 @@
+"""Frozen pre-optimization hot paths, kept verbatim as benchmark baselines.
+
+These are the serving-engine and ANN query paths exactly as they existed
+before the hot-path overhaul (PR 1): O(n) ``queue.pop(0)`` admission,
+per-iteration rebuild/re-sort of ``engine.running``, one allocator
+``append`` (with a full O(blocks) recount) per sequence per iteration, and
+per-query Python loops in the vector indexes. ``scripts/bench.py`` runs
+them against the optimized implementations so every ``BENCH_*.json``
+records the speedup against a stable baseline rather than against whatever
+the previous commit happened to be.
+
+Do not "fix" or modernize this module — its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CacheError, SchedulerError
+from repro.inference.request import Request
+from repro.inference.scheduler import IterationCost
+
+
+# --------------------------------------------------------------------------
+# Legacy paged allocator: full _recount() after every append.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _LegacyKVStats:
+    capacity_tokens: int
+    reserved_tokens: int = 0
+    used_tokens: int = 0
+    peak_reserved: int = 0
+    shared_saved_tokens: int = 0
+    sum_reserved: float = 0.0
+    sum_used: float = 0.0
+    samples: int = 0
+
+    def observe(self) -> None:
+        self.sum_reserved += self.reserved_tokens
+        self.sum_used += self.used_tokens
+        self.samples += 1
+
+
+@dataclass
+class _LegacySequence:
+    request_id: str
+    blocks: List[int] = field(default_factory=list)
+    tokens: int = 0
+    tokens_in_last_block: int = 0
+
+
+class LegacyPagedAllocator:
+    """The pre-overhaul ``PagedAllocator``: O(total blocks) per append."""
+
+    def __init__(self, capacity_tokens: int, *, block_size: int = 16) -> None:
+        if capacity_tokens <= 0 or block_size <= 0:
+            raise CacheError("capacity and block_size must be positive")
+        self.block_size = block_size
+        self.num_blocks = capacity_tokens // block_size
+        self.capacity_tokens = self.num_blocks * block_size
+        self._free: List[int] = list(range(self.num_blocks))
+        self._refcount: Dict[int, int] = {}
+        self._sequences: Dict[str, _LegacySequence] = {}
+        self._prefix_blocks: Dict[str, List[int]] = {}
+        self._prefix_tokens: Dict[str, int] = {}
+        self.stats = _LegacyKVStats(capacity_tokens=self.capacity_tokens)
+
+    def _blocks_needed(self, tokens: int) -> int:
+        return math.ceil(tokens / self.block_size)
+
+    def _alloc_blocks(self, count: int) -> List[int]:
+        if count > len(self._free):
+            raise CacheError("out of KV blocks")
+        blocks = [self._free.pop() for _ in range(count)]
+        for b in blocks:
+            self._refcount[b] = 1
+        return blocks
+
+    def _drop_ref(self, block: int) -> None:
+        self._refcount[block] -= 1
+        if self._refcount[block] == 0:
+            del self._refcount[block]
+            self._free.append(block)
+
+    def can_admit(self, request_id, prompt_tokens, prefix_id=None, prefix_tokens=0):
+        cached = self.cached_prefix_tokens(prefix_id, prefix_tokens)
+        needed = self._blocks_needed(max(prompt_tokens - cached, 0) + 1)
+        return needed <= len(self._free)
+
+    def cached_prefix_tokens(self, prefix_id, prefix_tokens):
+        if prefix_id is None or prefix_id not in self._prefix_blocks:
+            return 0
+        return min(self._prefix_tokens[prefix_id], prefix_tokens)
+
+    def admit(self, request_id, prompt_tokens, prefix_id=None, prefix_tokens=0):
+        if request_id in self._sequences:
+            raise CacheError(f"request {request_id!r} already admitted")
+        cached = self.cached_prefix_tokens(prefix_id, prefix_tokens)
+        seq = _LegacySequence(request_id=request_id)
+        if cached:
+            shared = self._prefix_blocks[prefix_id][: self._blocks_needed(cached)]
+            for b in shared:
+                self._refcount[b] += 1
+            seq.blocks.extend(shared)
+            seq.tokens = cached
+            seq.tokens_in_last_block = cached - (len(shared) - 1) * self.block_size
+            self.stats.shared_saved_tokens += cached
+        remaining = prompt_tokens - cached
+        if remaining > 0:
+            new_blocks = self._alloc_blocks(self._blocks_needed(remaining))
+            seq.blocks.extend(new_blocks)
+            seq.tokens += remaining
+            seq.tokens_in_last_block = remaining - (len(new_blocks) - 1) * self.block_size
+        self._sequences[request_id] = seq
+        self._recount()
+        return cached
+
+    def append(self, request_id, n_tokens=1):
+        seq = self._sequences.get(request_id)
+        if seq is None:
+            raise CacheError(f"unknown request {request_id!r}")
+        for _ in range(n_tokens):
+            last = seq.blocks[-1] if seq.blocks else None
+            last_shared = last is not None and self._refcount.get(last, 1) > 1
+            if last is None or last_shared or seq.tokens_in_last_block >= self.block_size:
+                seq.blocks.extend(self._alloc_blocks(1))
+                seq.tokens_in_last_block = 0
+            seq.tokens += 1
+            seq.tokens_in_last_block += 1
+        self._recount()
+
+    def release(self, request_id, *, keep_for_prefix=False):
+        seq = self._sequences.pop(request_id, None)
+        if seq is None:
+            return
+        if keep_for_prefix:
+            prefix_id = request_id if isinstance(request_id, str) else str(request_id)
+            self.register_prefix(prefix_id, seq.blocks, seq.tokens)
+        for b in seq.blocks:
+            self._drop_ref(b)
+        self._recount()
+
+    def register_prefix(self, prefix_id, blocks, tokens):
+        self.drop_prefix(prefix_id)
+        for b in blocks:
+            self._refcount[b] += 1
+        self._prefix_blocks[prefix_id] = list(blocks)
+        self._prefix_tokens[prefix_id] = tokens
+        self._recount()
+
+    def drop_prefix(self, prefix_id):
+        blocks = self._prefix_blocks.pop(prefix_id, None)
+        self._prefix_tokens.pop(prefix_id, None)
+        if blocks:
+            for b in blocks:
+                self._drop_ref(b)
+        self._recount()
+
+    def _recount(self) -> None:
+        allocated_blocks = self.num_blocks - len(self._free)
+        self.stats.reserved_tokens = allocated_blocks * self.block_size
+        used = 0
+        counted: Set[int] = set()
+        for seq in self._sequences.values():
+            for i, b in enumerate(seq.blocks):
+                if b in counted:
+                    continue
+                counted.add(b)
+                if i == len(seq.blocks) - 1:
+                    used += seq.tokens_in_last_block
+                else:
+                    used += self.block_size
+        for prefix_id, blocks in self._prefix_blocks.items():
+            tokens = self._prefix_tokens[prefix_id]
+            for i, b in enumerate(blocks):
+                if b in counted:
+                    continue
+                counted.add(b)
+                remaining = tokens - i * self.block_size
+                used += min(max(remaining, 0), self.block_size)
+        self.stats.used_tokens = used
+        self.stats.peak_reserved = max(self.stats.peak_reserved, self.stats.reserved_tokens)
+
+
+# --------------------------------------------------------------------------
+# Legacy serving engine + schedulers (list-rebuilding, pop(0) admission).
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _LegacyRunning:
+    request: Request
+    prefill_remaining: int
+    decoded: int = 0
+
+    @property
+    def prefilling(self) -> bool:
+        return self.prefill_remaining > 0
+
+    @property
+    def finished(self) -> bool:
+        return not self.prefilling and self.decoded >= self.request.output_tokens
+
+
+class LegacyContinuousBatchScheduler:
+    def __init__(self, *, max_batch: int = 64, chunk_tokens: Optional[int] = None) -> None:
+        self.max_batch = max_batch
+        self.chunk_tokens = chunk_tokens
+        self.name = "legacy-continuous"
+
+    def plan_iteration(self, engine):
+        running = list(engine.running.values())
+        decoding = [s for s in running if not s.prefilling][: self.max_batch]
+        prefilling = [s for s in running if s.prefilling]
+        prefill_work: List[Tuple[_LegacyRunning, int]] = []
+        if self.chunk_tokens is None:
+            for seq in prefilling:
+                prefill_work.append((seq, seq.prefill_remaining))
+        else:
+            budget = self.chunk_tokens
+            for seq in prefilling:
+                if budget <= 0:
+                    break
+                take = min(seq.prefill_remaining, budget)
+                prefill_work.append((seq, take))
+                budget -= take
+        return prefill_work, decoding
+
+    def may_admit(self, engine) -> bool:
+        return True
+
+
+class LegacyShortestJobFirstScheduler(LegacyContinuousBatchScheduler):
+    def __init__(self, *, max_batch: int = 64, chunk_tokens: Optional[int] = None) -> None:
+        super().__init__(max_batch=max_batch, chunk_tokens=chunk_tokens)
+        self.name = "legacy-sjf"
+
+    def plan_iteration(self, engine):
+        running = list(engine.running.values())
+        decoding = sorted(
+            (s for s in running if not s.prefilling),
+            key=lambda s: s.request.output_tokens - s.decoded,
+        )[: self.max_batch]
+        prefilling = sorted(
+            (s for s in running if s.prefilling),
+            key=lambda s: s.prefill_remaining,
+        )
+        prefill_work: List[Tuple[_LegacyRunning, int]] = []
+        if self.chunk_tokens is None:
+            for seq in prefilling:
+                prefill_work.append((seq, seq.prefill_remaining))
+        else:
+            budget = self.chunk_tokens
+            for seq in prefilling:
+                if budget <= 0:
+                    break
+                take = min(seq.prefill_remaining, budget)
+                prefill_work.append((seq, take))
+                budget -= take
+        return prefill_work, decoding
+
+
+class LegacyServingEngine:
+    """The pre-overhaul ``ServingEngine`` control loop, verbatim."""
+
+    def __init__(
+        self,
+        scheduler,
+        *,
+        allocator=None,
+        cost: Optional[IterationCost] = None,
+        max_running: int = 256,
+        keep_prefix_on_release: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.allocator = allocator
+        self.cost = cost or IterationCost()
+        self.max_running = max_running
+        self.keep_prefix_on_release = keep_prefix_on_release
+        self.running: Dict[str, _LegacyRunning] = {}
+        self.now = 0.0
+        self.iterations = 0
+        self.busy_s = 0.0
+        self._preempted: List[_LegacyRunning] = []
+
+    def _preempt_youngest(self) -> bool:
+        if len(self.running) <= 1:
+            return False
+        victim_id = max(
+            self.running, key=lambda rid: self.running[rid].request.arrival_s
+        )
+        seq = self.running.pop(victim_id)
+        if self.allocator is not None:
+            self.allocator.release(victim_id)
+        seq.request.preemptions += 1
+        seq.prefill_remaining = seq.request.prompt_tokens + seq.decoded
+        self._preempted.append(seq)
+        return True
+
+    def _safe_append(self, request_id: str, n_tokens: int = 1) -> None:
+        if self.allocator is None or request_id not in self.running:
+            return
+        from repro.errors import CacheError as _CacheError
+
+        while True:
+            try:
+                self.allocator.append(request_id, n_tokens)
+                return
+            except _CacheError as exc:
+                if "unknown request" in str(exc):
+                    return
+                if not self._preempt_youngest():
+                    raise
+
+    def _try_admit(self, queue: List[Request]) -> None:
+        if not self.scheduler.may_admit(self):
+            return
+        admit_cap = getattr(self.scheduler, "batch_size", None) or getattr(
+            self.scheduler, "max_batch", self.max_running
+        )
+        still_waiting: List[_LegacyRunning] = []
+        for seq in self._preempted:
+            request = seq.request
+            total_needed = request.prompt_tokens + seq.decoded
+            can = self.allocator is None or self.allocator.can_admit(
+                request.request_id, total_needed
+            )
+            if can and len(self.running) < min(self.max_running, admit_cap):
+                if self.allocator is not None:
+                    self.allocator.admit(request.request_id, total_needed)
+                self.running[request.request_id] = seq
+            else:
+                still_waiting.append(seq)
+        self._preempted = still_waiting
+        while queue and queue[0].arrival_s <= self.now:
+            if len(self.running) >= min(self.max_running, admit_cap):
+                break
+            request = queue[0]
+            cached = 0
+            if self.allocator is not None:
+                if not self.allocator.can_admit(
+                    request.request_id,
+                    request.prompt_tokens,
+                    request.prefix_id,
+                    request.prefix_tokens,
+                ):
+                    break
+                cached = self.allocator.admit(
+                    request.request_id,
+                    request.prompt_tokens,
+                    request.prefix_id,
+                    request.prefix_tokens,
+                )
+            queue.pop(0)
+            request.admitted_s = self.now
+            request.prefix_hit = cached > 0
+            self.running[request.request_id] = _LegacyRunning(
+                request=request,
+                prefill_remaining=max(request.prompt_tokens - cached, 1),
+            )
+
+    def run(self, requests: Sequence[Request]) -> List[Request]:
+        queue = sorted(requests, key=lambda r: r.arrival_s)
+        pending = list(queue)
+        total = len(pending)
+        completed = 0
+        while completed < total:
+            self._try_admit(pending)
+            if not self.running:
+                if not pending and not self._preempted:
+                    break
+                if pending:
+                    self.now = max(self.now, pending[0].arrival_s)
+                    continue
+                raise SchedulerError(
+                    "preempted sequences can never be re-admitted (KV too small)"
+                )
+            prefill_work, decoding = self.scheduler.plan_iteration(self)
+            prefill_tokens = sum(tokens for _, tokens in prefill_work)
+            iter_time = self.cost.time(prefill_tokens, len(decoding))
+            if iter_time <= 0:
+                raise SchedulerError("scheduler produced an empty iteration")
+            self.now += iter_time
+            self.busy_s += iter_time
+            self.iterations += 1
+            if self.allocator is not None:
+                self.allocator.stats.observe()
+            for seq, tokens in prefill_work:
+                if seq.request.request_id not in self.running:
+                    continue
+                seq.prefill_remaining -= tokens
+                if not seq.prefilling and seq.decoded == 0:
+                    seq.request.first_token_s = self.now
+                    seq.request.token_times.append(self.now)
+                    seq.decoded = 1
+                    self._safe_append(seq.request.request_id, 1)
+            for seq in decoding:
+                if seq.request.request_id not in self.running:
+                    continue
+                seq.decoded += 1
+                seq.request.token_times.append(self.now)
+                self._safe_append(seq.request.request_id, 1)
+            for request_id in [rid for rid, s in self.running.items() if s.finished]:
+                seq = self.running.pop(request_id)
+                seq.request.finished_s = self.now
+                completed += 1
+                if self.allocator is not None:
+                    if self.keep_prefix_on_release and isinstance(
+                        self.allocator, LegacyPagedAllocator
+                    ):
+                        self.allocator.release(request_id, keep_for_prefix=True)
+                    else:
+                        self.allocator.release(request_id)
+        return list(requests)
+
+
+# --------------------------------------------------------------------------
+# Legacy ANN query paths (per-query, Python-loop candidate handling).
+#
+# Each function reads the *current* index's internal arrays (which the
+# overhaul keeps: _vectors / _deleted / _centroids / _cells / _codebooks /
+# _codes), but runs the old single-query algorithm over them, so legacy and
+# optimized paths are measured on identical data structures.
+# --------------------------------------------------------------------------
+
+
+def _legacy_prepare_query(index, query: np.ndarray) -> np.ndarray:
+    query = np.asarray(query, dtype=np.float32).reshape(-1)
+    if index.metric == "cosine":
+        norm = float(np.linalg.norm(query))
+        if norm > 0:
+            query = query / norm
+    return query
+
+
+def _legacy_finish(index, rows_scores, k: int):
+    return [
+        (index._ids[row], float(score))
+        for row, score in rows_scores
+        if not index._deleted[row]
+    ][:k]
+
+
+def legacy_flat_search(index, query: np.ndarray, k: int = 10):
+    """Pre-overhaul ``FlatIndex.search``: full scan + argpartition per query."""
+    query = _legacy_prepare_query(index, query)
+    scores = index._score_fn(query, index._vectors)
+    scores = np.where(index._deleted, -np.inf, scores)
+    live = int((~index._deleted).sum())
+    kk = min(k, live)
+    if kk == 0:
+        return []
+    top = np.argpartition(-scores, kk - 1)[:kk]
+    top = top[np.argsort(-scores[top])]
+    rows_scores = [
+        (int(row), float(scores[row])) for row in top if np.isfinite(scores[row])
+    ]
+    return _legacy_finish(index, rows_scores, k)
+
+
+def legacy_ivf_search(index, query: np.ndarray, k: int = 10):
+    """Pre-overhaul ``IVFIndex.search``: per-cell list extends + full argsort."""
+    query = _legacy_prepare_query(index, query)
+    if not index._trained:
+        rows = np.flatnonzero(~index._deleted)
+    else:
+        diff = index._centroids - query
+        cell_dist = np.einsum("ij,ij->i", diff, diff)
+        probe = np.argsort(cell_dist)[: index.nprobe]
+        row_list: List[int] = []
+        for cell in probe:
+            row_list.extend(index._cells.get(int(cell), []))
+        rows = np.asarray(row_list, dtype=np.int64)
+    if rows.size == 0:
+        return []
+    scores = index._score_fn(query, index._vectors[rows])
+    scores = np.where(index._deleted[rows], -np.inf, scores)
+    order = np.argsort(-scores)[: max(k, 1)]
+    rows_scores = [
+        (int(rows[i]), float(scores[i])) for i in order if np.isfinite(scores[i])
+    ]
+    return _legacy_finish(index, rows_scores, k)
+
+
+def legacy_pq_search(index, query: np.ndarray, k: int = 10):
+    """Pre-overhaul ``PQIndex.search``: ADC tables + full argsort + rerank."""
+    query = _legacy_prepare_query(index, query)
+    if index._codebooks is None:
+        scores = index._score_fn(query, index._vectors)
+        scores = np.where(index._deleted, -np.inf, scores)
+        order = np.argsort(-scores)[: max(k, 1)]
+        rows_scores = [
+            (int(r), float(scores[r])) for r in order if np.isfinite(scores[r])
+        ]
+        return _legacy_finish(index, rows_scores, k)
+    tables = np.einsum(
+        "skd,sd->sk",
+        index._codebooks,
+        query.reshape(index.num_subspaces, index.sub_dim),
+    )
+    scores = tables[np.arange(index.num_subspaces)[None, :], index._codes].sum(axis=1)
+    scores = np.where(index._deleted[: scores.shape[0]], -np.inf, scores)
+    order = np.argsort(-scores)[: max(k * index.rerank_factor, k)]
+    exact = index._score_fn(query, index._vectors[order])
+    rerank = order[np.argsort(-exact)]
+    exact_sorted = np.sort(-exact)
+    rows_scores = [
+        (int(row), float(-s)) for row, s in zip(rerank, exact_sorted) if np.isfinite(s)
+    ]
+    return _legacy_finish(index, rows_scores, k)

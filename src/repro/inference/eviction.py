@@ -182,7 +182,7 @@ class KVEntryCache:
         if victim.parent is not None and victim.parent in self._children:
             self._children[victim.parent].discard(victim_key)
         # Orphan any children (they can no longer chain to the parent).
-        for child_key in self._children.pop(victim_key, set()):
+        for child_key in self._children.pop(victim_key, ()):
             child = self._entries.get(child_key)
             if child is not None:
                 child.parent = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CacheError
 
@@ -104,6 +104,19 @@ class ReservedAllocator:
             raise CacheError("sequence exceeded its reservation")
         self._used[request_id] += n_tokens
         self.stats.used_tokens += n_tokens
+
+    def can_append_all(self, pairs: Sequence[Tuple[str, int]]) -> bool:
+        """Would every ``(request_id, n_tokens)`` append succeed right now?"""
+        for request_id, n_tokens in pairs:
+            used = self._used.get(request_id)
+            if used is None or used + n_tokens > self.max_seq_len:
+                return False
+        return True
+
+    def append_many(self, pairs: Sequence[Tuple[str, int]]) -> None:
+        """Apply one iteration's appends in a single call."""
+        for request_id, n_tokens in pairs:
+            self.append(request_id, n_tokens)
 
     def release(self, request_id: str, *, keep_for_prefix: bool = False) -> None:
         used = self._used.pop(request_id, None)
@@ -214,13 +227,37 @@ class PagedAllocator:
             seq.tokens += remaining
             seq.tokens_in_last_block = remaining - (len(new_blocks) - 1) * self.block_size
         self._sequences[request_id] = seq
-        self._recount()
+        if cached:
+            # Shared blocks shift which occurrence _recount attributes them
+            # to; only a full recount is exact here.
+            self._recount()
+        else:
+            # All blocks are fresh (nowhere else in the pool), so the new
+            # sequence contributes exactly its prompt tokens.
+            stats = self.stats
+            stats.reserved_tokens = (self.num_blocks - len(self._free)) * self.block_size
+            stats.used_tokens += prompt_tokens
+            if stats.reserved_tokens > stats.peak_reserved:
+                stats.peak_reserved = stats.reserved_tokens
         return cached
 
     def append(self, request_id: str, n_tokens: int = 1) -> None:
         seq = self._sequences.get(request_id)
         if seq is None:
             raise CacheError(f"unknown request {request_id!r}")
+        self._append_to_seq(seq, n_tokens)
+
+    def _append_to_seq(self, seq: _Sequence, n_tokens: int) -> None:
+        """Append with O(1) stats accounting.
+
+        Appends only ever grow an unshared last block or open fresh blocks,
+        so ``used_tokens`` advances by exactly ``n_tokens`` and
+        ``reserved_tokens`` follows the free list — no full recount needed.
+        The one exception is writing past a *shared* last block (a fully
+        cached prompt), where the old block's contribution to ``used``
+        depends on sharing structure; that rare case recounts exactly.
+        """
+        shared_transition = False
         for _ in range(n_tokens):
             last = seq.blocks[-1] if seq.blocks else None
             last_shared = last is not None and self._refcount.get(last, 1) > 1
@@ -231,9 +268,47 @@ class PagedAllocator:
             ):
                 seq.blocks.extend(self._alloc_blocks(1))
                 seq.tokens_in_last_block = 0
+                if last_shared:
+                    shared_transition = True
             seq.tokens += 1
             seq.tokens_in_last_block += 1
-        self._recount()
+        if shared_transition:
+            self._recount()
+        else:
+            stats = self.stats
+            stats.reserved_tokens = (self.num_blocks - len(self._free)) * self.block_size
+            stats.used_tokens += n_tokens
+            if stats.reserved_tokens > stats.peak_reserved:
+                stats.peak_reserved = stats.reserved_tokens
+
+    def can_append_all(self, pairs: Sequence[Tuple[str, int]]) -> bool:
+        """Would every ``(request_id, n_tokens)`` append succeed right now?
+
+        Exact: frees never happen mid-batch, so the batch fits iff the total
+        count of fresh blocks it would open fits in the free list.
+        """
+        needed = 0
+        for request_id, n_tokens in pairs:
+            seq = self._sequences.get(request_id)
+            if seq is None:
+                return False
+            last = seq.blocks[-1] if seq.blocks else None
+            if last is None or self._refcount.get(last, 1) > 1:
+                room = 0
+            else:
+                room = self.block_size - seq.tokens_in_last_block
+            overflow = n_tokens - room
+            if overflow > 0:
+                needed += -(-overflow // self.block_size)
+        return needed <= len(self._free)
+
+    def append_many(self, pairs: Sequence[Tuple[str, int]]) -> None:
+        """Apply one iteration's appends in a single call, in pair order."""
+        for request_id, n_tokens in pairs:
+            seq = self._sequences.get(request_id)
+            if seq is None:
+                raise CacheError(f"unknown request {request_id!r}")
+            self._append_to_seq(seq, n_tokens)
 
     def release(self, request_id: str, *, keep_for_prefix: bool = False) -> None:
         """Free a sequence; optionally register its blocks as a reusable prefix."""
@@ -243,9 +318,23 @@ class PagedAllocator:
         if keep_for_prefix:
             prefix_id = request_id if isinstance(request_id, str) else str(request_id)
             self.register_prefix(prefix_id, seq.blocks, seq.tokens)
+        refcount = self._refcount
+        exclusive = not keep_for_prefix and all(
+            refcount.get(b, 0) == 1 for b in seq.blocks
+        )
         for b in seq.blocks:
             self._drop_ref(b)
-        self._recount()
+        if exclusive:
+            # Sole holder of every block: _recount attributed exactly
+            # (full blocks + last partial) to this sequence, so subtract it.
+            stats = self.stats
+            if seq.blocks:
+                stats.used_tokens -= (
+                    len(seq.blocks) - 1
+                ) * self.block_size + seq.tokens_in_last_block
+            stats.reserved_tokens = (self.num_blocks - len(self._free)) * self.block_size
+        else:
+            self._recount()
 
     def register_prefix(self, prefix_id: str, blocks: List[int], tokens: int) -> None:
         """Pin blocks as a named shared prefix (takes a reference)."""

@@ -11,7 +11,7 @@ of a partially-matching prefix.
 
 from __future__ import annotations
 
-import copy
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -69,7 +69,16 @@ class PrefixCacheSimulator:
 
     def replay(self, requests: Sequence[Request]) -> PrefixReport:
         """Process requests in arrival order; populate caches as we go."""
-        work = sorted(copy.deepcopy(list(requests)), key=lambda r: r.arrival_s)
+        # Shallow per-request clones (only the mutable timeline list needs
+        # copying) keep the caller's requests untouched without paying for a
+        # deepcopy of the whole workload.
+        work = sorted(
+            (
+                dataclasses.replace(r, token_times=list(r.token_times))
+                for r in requests
+            ),
+            key=lambda r: r.arrival_s,
+        )
         ttfts: List[float] = []
         ttfts_baseline: List[float] = []
         for request in work:

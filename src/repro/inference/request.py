@@ -56,9 +56,8 @@ class Request:
     @property
     def tbt_values(self) -> List[float]:
         """Gaps between consecutive output tokens."""
-        if len(self.token_times) < 2:
-            return []
-        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]
+        times = self.token_times
+        return [times[i] - times[i - 1] for i in range(1, len(times))]
 
     @property
     def mean_tbt(self) -> Optional[float]:

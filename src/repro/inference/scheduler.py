@@ -14,14 +14,25 @@ differences are attributable to scheduling alone:
 * chunked prefill — Sarathi-Serve [4]: ``chunk_tokens`` caps the prefill
   tokens coscheduled with decodes in any iteration, bounding TBT at a
   small TTFT cost.
+
+The engine keeps the simulated trajectory identical to the original
+per-iteration-rescan implementation (guarded by
+``tests/test_scheduler_golden.py``) while avoiding O(n) work per
+iteration: arrivals drain from a deque, the engine maintains incremental
+``_prefilling`` / ``_decoding`` sets instead of policies refiltering
+``running.values()``, SJF keeps a lazy heap keyed on remaining work, and
+all of an iteration's KV appends go to the allocator in one batched call
+when no memory pressure is in play.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import SchedulerError
+from ..errors import CacheError, SchedulerError
 from .kvcache import PagedAllocator, ReservedAllocator
 from .request import Request
 
@@ -54,6 +65,10 @@ class _Running:
     request: Request
     prefill_remaining: int
     decoded: int = 0
+    # Monotone per-(re)admission ordinal; mirrors the sequence's position in
+    # ``engine.running`` so priority ties resolve exactly as the old stable
+    # sort over dict order did. Reassigned when a preempted sequence resumes.
+    admit_index: int = 0
 
     @property
     def prefilling(self) -> bool:
@@ -64,10 +79,36 @@ class _Running:
         return not self.prefilling and self.decoded >= self.request.output_tokens
 
 
+def _plan_prefill(
+    prefilling: Iterable[_Running], chunk_tokens: Optional[int]
+) -> List[Tuple[_Running, int]]:
+    """Greedy in-order prefill planning, shared by every policy.
+
+    ``chunk_tokens=None`` schedules each waiting prompt whole; otherwise the
+    budget is handed out in sequence order (Sarathi's chunk cap).
+    """
+    prefill_work: List[Tuple[_Running, int]] = []
+    if chunk_tokens is None:
+        for seq in prefilling:
+            prefill_work.append((seq, seq.prefill_remaining))
+    else:
+        budget = chunk_tokens
+        for seq in prefilling:
+            if budget <= 0:
+                break
+            take = min(seq.prefill_remaining, budget)
+            prefill_work.append((seq, take))
+            budget -= take
+    return prefill_work
+
+
 class SchedulerPolicy:
     """Interface: decide what runs in the next iteration."""
 
     name = "base"
+    # Maximum concurrently running sequences this policy wants; ``None``
+    # defers entirely to the engine's ``max_running``.
+    admit_cap: Optional[int] = None
 
     def plan_iteration(
         self, engine: "ServingEngine"
@@ -78,6 +119,9 @@ class SchedulerPolicy:
     def may_admit(self, engine: "ServingEngine") -> bool:
         """May new requests join right now?"""
         return True
+
+    def on_decode_ready(self, seq: _Running) -> None:
+        """Hook: ``seq`` entered (or continues in) the decode phase."""
 
 
 class ContinuousBatchScheduler(SchedulerPolicy):
@@ -91,26 +135,16 @@ class ContinuousBatchScheduler(SchedulerPolicy):
         if chunk_tokens is not None and chunk_tokens <= 0:
             raise SchedulerError("chunk_tokens must be positive")
         self.max_batch = max_batch
+        self.admit_cap = max_batch
         self.chunk_tokens = chunk_tokens
         self.name = "chunked-prefill" if chunk_tokens else "continuous"
 
     def plan_iteration(self, engine):
-        running = list(engine.running.values())
-        decoding = [s for s in running if not s.prefilling][: self.max_batch]
-        prefilling = [s for s in running if s.prefilling]
-        prefill_work: List[Tuple[_Running, int]] = []
-        if self.chunk_tokens is None:
-            # Whole-prompt prefill: admit every waiting prefill this iteration.
-            for seq in prefilling:
-                prefill_work.append((seq, seq.prefill_remaining))
-        else:
-            budget = self.chunk_tokens
-            for seq in prefilling:
-                if budget <= 0:
-                    break
-                take = min(seq.prefill_remaining, budget)
-                prefill_work.append((seq, take))
-                budget -= take
+        # ``_decoding`` preserves admission order (prefill budget is granted
+        # in admission order, so completions land in admission order too),
+        # matching the old filter over ``running.values()``.
+        decoding = list(engine._decoding.values())[: self.max_batch]
+        prefill_work = _plan_prefill(engine._prefilling.values(), self.chunk_tokens)
         return prefill_work, decoding
 
 
@@ -122,34 +156,41 @@ class ShortestJobFirstScheduler(ContinuousBatchScheduler):
     classic latency-optimal policy: under saturation, finishing short
     requests first minimizes mean latency (at some tail cost for long
     requests). Prefill admission also prefers short prompts.
+
+    Decode priority lives in a lazy heap keyed on
+    ``(remaining_tokens, admit_index)`` — entries go stale when a sequence
+    decodes, preempts, or finishes, and are discarded on pop — replacing
+    the full re-sort of the running set every iteration.
     """
 
     def __init__(self, *, max_batch: int = 64, chunk_tokens: Optional[int] = None) -> None:
         super().__init__(max_batch=max_batch, chunk_tokens=chunk_tokens)
         self.name = "sjf"
+        self._heap: List[Tuple[int, int, _Running]] = []
+
+    def on_decode_ready(self, seq: _Running) -> None:
+        remaining = seq.request.output_tokens - seq.decoded
+        heapq.heappush(self._heap, (remaining, seq.admit_index, seq))
 
     def plan_iteration(self, engine):
-        running = list(engine.running.values())
-        decoding = sorted(
-            (s for s in running if not s.prefilling),
-            key=lambda s: s.request.output_tokens - s.decoded,
-        )[: self.max_batch]
+        heap = self._heap
+        decoding: List[_Running] = []
+        running = engine.running
+        while heap and len(decoding) < self.max_batch:
+            remaining, admit_index, seq = heapq.heappop(heap)
+            if (
+                running.get(seq.request.request_id) is not seq
+                or seq.admit_index != admit_index
+                or seq.prefilling
+                or seq.finished
+                or seq.request.output_tokens - seq.decoded != remaining
+            ):
+                continue  # stale entry; the live one carries current keys
+            decoding.append(seq)
         prefilling = sorted(
-            (s for s in running if s.prefilling),
-            key=lambda s: s.prefill_remaining,
+            engine._prefilling.values(), key=lambda s: s.prefill_remaining
         )
-        prefill_work: List[Tuple[_Running, int]] = []
-        if self.chunk_tokens is None:
-            for seq in prefilling:
-                prefill_work.append((seq, seq.prefill_remaining))
-        else:
-            budget = self.chunk_tokens
-            for seq in prefilling:
-                if budget <= 0:
-                    break
-                take = min(seq.prefill_remaining, budget)
-                prefill_work.append((seq, take))
-                budget -= take
+        prefill_work = _plan_prefill(prefilling, self.chunk_tokens)
         return prefill_work, decoding
 
 
@@ -160,12 +201,12 @@ class StaticBatchScheduler(SchedulerPolicy):
         if batch_size <= 0:
             raise SchedulerError("batch_size must be positive")
         self.batch_size = batch_size
+        self.admit_cap = batch_size
         self.name = "static"
 
     def plan_iteration(self, engine):
-        running = list(engine.running.values())
-        prefill_work = [(s, s.prefill_remaining) for s in running if s.prefilling]
-        decoding = [s for s in running if not s.prefilling]
+        prefill_work = _plan_prefill(engine._prefilling.values(), None)
+        decoding = list(engine._decoding.values())
         return prefill_work, decoding
 
     def may_admit(self, engine):
@@ -195,6 +236,19 @@ class ServingEngine:
         self.iterations = 0
         self.busy_s = 0.0
         self._preempted: List[_Running] = []
+        # Incrementally maintained views of ``running``, so policies plan an
+        # iteration without refiltering/re-sorting the whole running set.
+        # Both preserve admission order (insertion-ordered dicts).
+        self._prefilling: Dict[str, _Running] = {}
+        self._decoding: Dict[str, _Running] = {}
+        self._admit_counter = 0
+
+    # ------------------------------------------------------- state tracking
+    def _insert_running(self, seq: _Running) -> None:
+        seq.admit_index = self._admit_counter
+        self._admit_counter += 1
+        self.running[seq.request.request_id] = seq
+        self._prefilling[seq.request.request_id] = seq
 
     # ----------------------------------------------------------- preemption
     def _preempt_youngest(self) -> bool:
@@ -206,6 +260,8 @@ class ServingEngine:
             self.running, key=lambda rid: self.running[rid].request.arrival_s
         )
         seq = self.running.pop(victim_id)
+        self._prefilling.pop(victim_id, None)
+        self._decoding.pop(victim_id, None)
         if self.allocator is not None:
             self.allocator.release(victim_id)
         seq.request.preemptions += 1
@@ -217,8 +273,6 @@ class ServingEngine:
         """Append KV entries, preempting under memory pressure."""
         if self.allocator is None or request_id not in self.running:
             return
-        from ..errors import CacheError
-
         while True:
             try:
                 self.allocator.append(request_id, n_tokens)
@@ -230,12 +284,12 @@ class ServingEngine:
                     raise
 
     # ------------------------------------------------------------ admission
-    def _try_admit(self, queue: List[Request]) -> None:
+    def _try_admit(self, queue: Deque[Request]) -> None:
         if not self.scheduler.may_admit(self):
             return
-        admit_cap = getattr(self.scheduler, "batch_size", None) or getattr(
-            self.scheduler, "max_batch", self.max_running
-        )
+        cap = self.max_running
+        if self.scheduler.admit_cap is not None:
+            cap = min(cap, self.scheduler.admit_cap)
         # Resume preempted sequences first (they hold completed work).
         still_waiting: List[_Running] = []
         for seq in self._preempted:
@@ -244,15 +298,15 @@ class ServingEngine:
             can = self.allocator is None or self.allocator.can_admit(
                 request.request_id, total_needed
             )
-            if can and len(self.running) < min(self.max_running, admit_cap):
+            if can and len(self.running) < cap:
                 if self.allocator is not None:
                     self.allocator.admit(request.request_id, total_needed)
-                self.running[request.request_id] = seq
+                self._insert_running(seq)
             else:
                 still_waiting.append(seq)
         self._preempted = still_waiting
         while queue and queue[0].arrival_s <= self.now:
-            if len(self.running) >= min(self.max_running, admit_cap):
+            if len(self.running) >= cap:
                 break
             request = queue[0]
             cached = 0
@@ -270,19 +324,29 @@ class ServingEngine:
                     request.prefix_id,
                     request.prefix_tokens,
                 )
-            queue.pop(0)
+            queue.popleft()
             request.admitted_s = self.now
             request.prefix_hit = cached > 0
-            self.running[request.request_id] = _Running(
-                request=request,
-                prefill_remaining=max(request.prompt_tokens - cached, 1),
+            self._insert_running(
+                _Running(
+                    request=request,
+                    prefill_remaining=max(request.prompt_tokens - cached, 1),
+                )
             )
+
+    # --------------------------------------------------------- phase shifts
+    def _finish_prefill(self, seq: _Running) -> None:
+        """Move a sequence whose prompt just drained into the decode set."""
+        request_id = seq.request.request_id
+        self._prefilling.pop(request_id, None)
+        self._decoding[request_id] = seq
+        if not seq.finished:
+            self.scheduler.on_decode_ready(seq)
 
     # ------------------------------------------------------------ main loop
     def run(self, requests: Sequence[Request]) -> List[Request]:
         """Simulate to completion; returns the requests with timelines filled."""
-        queue = sorted(requests, key=lambda r: r.arrival_s)
-        pending = list(queue)
+        pending: Deque[Request] = deque(sorted(requests, key=lambda r: r.arrival_s))
         total = len(pending)
         completed = 0
         while completed < total:
@@ -306,26 +370,72 @@ class ServingEngine:
             self.iterations += 1
             if self.allocator is not None:
                 self.allocator.stats.observe()
-            # Prefill progress; a prompt that completes emits its first token.
-            for seq, tokens in prefill_work:
-                if seq.request.request_id not in self.running:
-                    continue  # preempted earlier in this iteration
-                seq.prefill_remaining -= tokens
-                if not seq.prefilling and seq.decoded == 0:
-                    seq.request.first_token_s = self.now
+            # Predict this iteration's KV appends (first tokens of completing
+            # prefills, then one per decoding sequence — the order the
+            # sequential path issues them in). If the allocator can take them
+            # all, skip per-sequence calls and pressure handling entirely.
+            append_pairs: List[Tuple[str, int]] = [
+                (seq.request.request_id, 1)
+                for seq, tokens in prefill_work
+                if tokens == seq.prefill_remaining and seq.decoded == 0
+            ]
+            append_pairs.extend((seq.request.request_id, 1) for seq in decoding)
+            batch_append = None
+            if self.allocator is not None:
+                can_all = getattr(self.allocator, "can_append_all", None)
+                if can_all is not None and can_all(append_pairs):
+                    batch_append = self.allocator.append_many
+            if self.allocator is None or batch_append is not None:
+                # Fast path: no memory pressure possible, so no sequence can
+                # be preempted mid-iteration and the membership rechecks the
+                # sequential path needs are vacuous.
+                for seq, tokens in prefill_work:
+                    seq.prefill_remaining -= tokens
+                    if not seq.prefilling:
+                        if seq.decoded == 0:
+                            seq.request.first_token_s = self.now
+                            seq.request.token_times.append(self.now)
+                            seq.decoded = 1
+                        self._finish_prefill(seq)
+                for seq in decoding:
+                    seq.decoded += 1
                     seq.request.token_times.append(self.now)
-                    seq.decoded = 1
-                    self._safe_append(seq.request.request_id, 1)
-            # Decode progress: one token per decoding sequence.
-            for seq in decoding:
-                if seq.request.request_id not in self.running:
-                    continue  # preempted earlier in this iteration
-                seq.decoded += 1
-                seq.request.token_times.append(self.now)
-                self._safe_append(seq.request.request_id, 1)
-            # Retire finished sequences.
-            for request_id in [rid for rid, s in self.running.items() if s.finished]:
-                seq = self.running.pop(request_id)
+                    if not seq.finished:
+                        self.scheduler.on_decode_ready(seq)
+                if batch_append is not None:
+                    batch_append(append_pairs)
+            else:
+                # Pressure path: identical to the original per-sequence loop,
+                # including preemption interleaved between appends.
+                for seq, tokens in prefill_work:
+                    request_id = seq.request.request_id
+                    if request_id not in self.running:
+                        continue  # preempted earlier in this iteration
+                    seq.prefill_remaining -= tokens
+                    if not seq.prefilling:
+                        if seq.decoded == 0:
+                            seq.request.first_token_s = self.now
+                            seq.request.token_times.append(self.now)
+                            seq.decoded = 1
+                            self._safe_append(request_id, 1)
+                        if request_id in self.running:
+                            self._finish_prefill(seq)
+                for seq in decoding:
+                    request_id = seq.request.request_id
+                    if request_id not in self.running:
+                        continue  # preempted earlier in this iteration
+                    seq.decoded += 1
+                    seq.request.token_times.append(self.now)
+                    self._safe_append(request_id, 1)
+                    if request_id in self.running and not seq.finished:
+                        self.scheduler.on_decode_ready(seq)
+            # Retire finished sequences (they all sit in the decode set).
+            finished_ids = [
+                rid for rid, seq in self._decoding.items() if seq.finished
+            ]
+            for request_id in finished_ids:
+                seq = self._decoding.pop(request_id)
+                self.running.pop(request_id, None)
                 seq.request.finished_s = self.now
                 completed += 1
                 if self.allocator is not None:

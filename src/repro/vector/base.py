@@ -3,17 +3,19 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import DimensionMismatchError, IndexError_
 from .metrics import normalize_rows, resolve_metric
 
+# Queries processed per matrix-matrix product in batched kernels. Bounds the
+# score-buffer working set to a few MB regardless of index size.
+QUERY_CHUNK = 32
 
-@dataclass(frozen=True)
-class SearchHit:
+
+class SearchHit(NamedTuple):
     """One nearest-neighbour result."""
 
     id: str
@@ -23,10 +25,11 @@ class SearchHit:
 class VectorIndex(abc.ABC):
     """Abstract nearest-neighbour index over string-keyed vectors.
 
-    Concrete classes implement :meth:`_search_ids` over internal row
-    numbers; this base handles id bookkeeping, dimension checks, metric
-    normalization and deletion masking, so index implementations stay
-    focused on their data structure.
+    Concrete classes implement either :meth:`_search_ids` (single query over
+    internal row numbers) or :meth:`_search_ids_many` (batched); each default
+    delegates to the other. This base handles id bookkeeping, dimension
+    checks, metric normalization and deletion masking, so index
+    implementations stay focused on their data structure.
     """
 
     def __init__(self, dim: int, metric: str = "cosine") -> None:
@@ -39,6 +42,10 @@ class VectorIndex(abc.ABC):
         self._id_to_row: Dict[str, int] = {}
         self._vectors = np.zeros((0, dim), dtype=np.float32)
         self._deleted = np.zeros(0, dtype=bool)
+        # Squared row norms, maintained at insert so l2 ranking can use the
+        # expansion trick (2·q·v − ‖v‖²) without recomputing norms per query.
+        self._row_norms = np.zeros(0, dtype=np.float32)
+        self._num_deleted = 0
 
     # ------------------------------------------------------------ ingestion
     def _prepare(self, vectors: np.ndarray) -> np.ndarray:
@@ -67,6 +74,9 @@ class VectorIndex(abc.ABC):
             self._id_to_row[vid] = start + offset
         self._vectors = np.vstack([self._vectors, vectors])
         self._deleted = np.concatenate([self._deleted, np.zeros(len(ids), dtype=bool)])
+        self._row_norms = np.concatenate(
+            [self._row_norms, np.einsum("ij,ij->i", vectors, vectors)]
+        )
         self._on_add(np.arange(start, start + len(ids)), vectors)
 
     def remove(self, vid: str) -> bool:
@@ -75,6 +85,7 @@ class VectorIndex(abc.ABC):
         if row is None:
             return False
         self._deleted[row] = True
+        self._num_deleted += 1
         self._on_remove(row)
         return True
 
@@ -84,22 +95,49 @@ class VectorIndex(abc.ABC):
         query = np.asarray(query, dtype=np.float32).reshape(-1)
         if query.shape[0] != self.dim:
             raise DimensionMismatchError(f"query dim {query.shape[0]} != {self.dim}")
-        if k <= 0 or len(self) == 0:
-            return []
+        return self.search_many(query[None, :], k)[0]
+
+    def search_many(self, queries: np.ndarray, k: int = 10) -> List[List[SearchHit]]:
+        """Top-``k`` search for a batch of queries; one hit list per query.
+
+        Flat/IVF/PQ answer the whole batch with matrix-matrix products;
+        graph/hash indexes fall back to a per-query loop.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"query dim {queries.shape[-1] if queries.ndim else 0} != {self.dim}"
+            )
+        nq = queries.shape[0]
+        if k <= 0 or len(self) == 0 or nq == 0:
+            return [[] for _ in range(nq)]
         if self.metric == "cosine":
-            norm = float(np.linalg.norm(query))
-            if norm > 0:
-                query = query / norm
-        rows_scores = self._search_ids(query, k)
-        hits = [
-            SearchHit(id=self._ids[row], score=float(score))
-            for row, score in rows_scores
-            if not self._deleted[row]
-        ]
-        return hits[:k]
+            queries = normalize_rows(queries)
+        per_query = self._search_ids_many(queries, k)
+        return [self._finalize(rows_scores, k) for rows_scores in per_query]
+
+    def _finalize(self, rows_scores: List[tuple], k: int) -> List[SearchHit]:
+        """Mask deleted rows, truncate to ``k``, and build hits."""
+        ids = self._ids
+        if not self._num_deleted:
+            return [
+                SearchHit(id=ids[row], score=float(score))
+                for row, score in rows_scores[:k]
+            ]
+        deleted = self._deleted
+        hits: List[SearchHit] = []
+        for row, score in rows_scores:
+            if deleted[row]:
+                continue
+            hits.append(SearchHit(id=ids[row], score=float(score)))
+            if len(hits) == k:
+                break
+        return hits
 
     def __len__(self) -> int:
-        return int((~self._deleted).sum())
+        return len(self._ids) - self._num_deleted
 
     @property
     def total_rows(self) -> int:
@@ -115,14 +153,89 @@ class VectorIndex(abc.ABC):
             raise IndexError_(f"unknown id {vid!r}")
         return self._vectors[row].copy()
 
+    # ----------------------------------------------------- batched kernels
+    def _exact_scores(self, rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Exact similarity of ``query`` to the given rows.
+
+        Deliberately a fixed-shape gather + vector product: the result for a
+        row depends only on that row and the query, never on how many other
+        queries were batched alongside — so ``search`` and ``search_many``
+        report bitwise-identical scores for the same candidates.
+        """
+        vectors = self._vectors[rows]
+        if self.metric == "l2":
+            diff = vectors - query
+            return -np.einsum("ij,ij->i", diff, diff)
+        return vectors @ query
+
+    def _batch_topk(
+        self, queries: np.ndarray, k: int, rows: Optional[np.ndarray] = None
+    ) -> List[List[tuple]]:
+        """Brute-force batched top-``k``: one GEMM per query chunk.
+
+        Candidate *selection* ranks by the chunked matrix product (for l2 via
+        the cached-norm expansion, which orders identically); the selected
+        rows are then rescored per query with :meth:`_exact_scores` so
+        reported values match the single-query path exactly. ``rows``
+        restricts the scan to a subset (e.g. an untrained IVF's live rows).
+        """
+        if rows is None:
+            vectors = self._vectors
+            deleted = self._deleted
+            sq_norms = self._row_norms
+            live = len(self._ids) - self._num_deleted
+        else:
+            vectors = self._vectors[rows]
+            deleted = self._deleted[rows]
+            sq_norms = self._row_norms[rows]
+            live = int((~deleted).sum())
+        n = vectors.shape[0]
+        nq = queries.shape[0]
+        if n == 0:
+            return [[] for _ in range(nq)]
+        kk = min(k, live)
+        if kk == 0:
+            return [[] for _ in range(nq)]
+        vt = vectors.T
+        any_deleted = live != n
+        is_l2 = self.metric == "l2"
+        buf = np.empty((min(QUERY_CHUNK, nq), n), dtype=np.float32)
+        out: List[List[tuple]] = []
+        for start in range(0, nq, QUERY_CHUNK):
+            chunk = queries[start : start + QUERY_CHUNK]
+            scores = np.matmul(chunk, vt, out=buf[: chunk.shape[0]])
+            if is_l2:
+                scores *= 2.0
+                scores -= sq_norms[None, :]
+            if any_deleted:
+                scores[:, deleted] = -np.inf
+            for i in range(chunk.shape[0]):
+                if kk < n:
+                    # Top-kk of a live row is never -inf (kk <= live).
+                    top = np.argpartition(scores[i], n - kk)[n - kk :]
+                else:
+                    top = np.arange(n)
+                cand = top if rows is None else rows[top]
+                exact = self._exact_scores(cand, queries[start + i])
+                order = np.argsort(-exact, kind="stable")
+                out.append(
+                    [(int(r), float(v)) for r, v in zip(cand[order], exact[order])]
+                )
+        return out
+
     # ------------------------------------------------------------ subclass
-    @abc.abstractmethod
     def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
-        """Return candidate ``(row, score)`` pairs, best first.
+        """Return candidate ``(row, score)`` pairs for one query, best first.
 
         May return more than ``k`` candidates; the base class masks deleted
-        rows and truncates.
+        rows and truncates. Subclasses override this *or*
+        :meth:`_search_ids_many`.
         """
+        return self._search_ids_many(query[None, :], k)[0]
+
+    def _search_ids_many(self, queries: np.ndarray, k: int) -> List[List[tuple]]:
+        """Batched form of :meth:`_search_ids`; default is a per-query loop."""
+        return [self._search_ids(query, k) for query in queries]
 
     def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
         """Hook: incorporate new rows into the index structure."""

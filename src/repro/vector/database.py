@@ -161,6 +161,43 @@ class Collection:
             fetch = min(fetch * 2, max(len(self.index), 1))
         return results[:k]
 
+    def query_many(
+        self,
+        *,
+        vectors: Optional[np.ndarray] = None,
+        texts: Optional[Sequence[str]] = None,
+        k: int = 10,
+        where: Optional[MetadataFilter] = None,
+        max_overfetch: int = 8,
+    ) -> List[List[QueryResult]]:
+        """Batched :meth:`query`: one result list per query.
+
+        The whole batch is answered with a single :meth:`VectorIndex.search_many`
+        call (matrix-matrix products on flat/IVF/PQ). Queries that come up
+        short after filtering fall back to the single-query over-fetch loop.
+        """
+        if vectors is None:
+            if texts is None:
+                raise CollectionError("query_many needs vectors or texts")
+            if self.embedder is None:
+                raise CollectionError(f"collection {self.name!r} has no embedder")
+            vectors = self.embedder.embed_batch(list(texts))
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        per_query = self.index.search_many(vectors, k=k)
+        out: List[List[QueryResult]] = []
+        for qi, hits in enumerate(per_query):
+            results = self._materialize(hits, where)
+            if len(results) < k and len(hits) < len(self.index):
+                # Filter ate too many hits: rerun this query alone with the
+                # adaptive over-fetch loop.
+                results = self.query(
+                    vector=vectors[qi], k=k, where=where, max_overfetch=max_overfetch
+                )
+            out.append(results[:k])
+        return out
+
     def _materialize(
         self, hits: List[SearchHit], where: Optional[MetadataFilter]
     ) -> List[QueryResult]:

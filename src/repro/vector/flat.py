@@ -10,15 +10,13 @@ from .base import VectorIndex
 
 
 class FlatIndex(VectorIndex):
-    """Scans every vector; O(n·d) per query, exact results."""
+    """Scans every vector; O(n·d) per query, exact results.
 
-    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
-        scores = self._score_fn(query, self._vectors)
-        scores = np.where(self._deleted, -np.inf, scores)
-        live = int((~self._deleted).sum())
-        k = min(k, live)
-        if k == 0:
-            return []
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
-        return [(int(row), float(scores[row])) for row in top if np.isfinite(scores[row])]
+    Single and batched queries share one chunked-GEMM kernel
+    (:meth:`VectorIndex._batch_topk`), so a batch of queries costs one
+    matrix-matrix product per chunk instead of one matrix-vector product
+    per query.
+    """
+
+    def _search_ids_many(self, queries: np.ndarray, k: int) -> List[List[tuple]]:
+        return self._batch_topk(queries, k)

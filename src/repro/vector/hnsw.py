@@ -79,8 +79,9 @@ class HNSWIndex(VectorIndex):
         # min-heap of current best results by similarity.
         candidates: List[Tuple[float, int]] = []
         results: List[Tuple[float, int]] = []
-        for row in entry_rows:
-            sim = self._sim(query, row)
+        entry_sims = self._sim_many(query, entry_rows)
+        for row, sim in zip(entry_rows, entry_sims):
+            sim = float(sim)
             heapq.heappush(candidates, (-sim, row))
             heapq.heappush(results, (sim, row))
         while candidates:
@@ -105,23 +106,27 @@ class HNSWIndex(VectorIndex):
         self, query: np.ndarray, candidates: List[Tuple[float, int]], m: int
     ) -> List[int]:
         """Heuristic neighbour selection (keeps diverse edges)."""
+        ordered = sorted(candidates, reverse=True)
         selected: List[int] = []
-        for sim, row in sorted(candidates, reverse=True):
+        # Already-selected vectors accumulate in a preallocated matrix so the
+        # domination check is one vectorized score call per candidate instead
+        # of a Python loop over selected neighbours.
+        selected_vecs = np.empty((m, self.dim), dtype=np.float32)
+        for sim, row in ordered:
             if len(selected) >= m:
                 break
             # Diversity check: skip a candidate dominated by an already
             # selected neighbour (closer to it than to the query).
-            dominated = False
             vec = self._vectors[row]
-            for srow in selected:
-                if self._sim(vec, srow) > sim:
-                    dominated = True
-                    break
-            if not dominated:
-                selected.append(row)
+            if selected and float(
+                np.max(self._score_fn(vec, selected_vecs[: len(selected)]))
+            ) > sim:
+                continue
+            selected_vecs[len(selected)] = vec
+            selected.append(row)
         if len(selected) < m:  # backfill with remaining best
             chosen = set(selected)
-            for sim, row in sorted(candidates, reverse=True):
+            for sim, row in ordered:
                 if len(selected) >= m:
                     break
                 if row not in chosen:

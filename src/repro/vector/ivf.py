@@ -6,7 +6,7 @@ query, trading recall for a ~nlist/nprobe reduction in scanned vectors.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -48,6 +48,11 @@ class IVFIndex(VectorIndex):
         self.seed = seed
         self._centroids: np.ndarray = np.zeros((0, dim), dtype=np.float32)
         self._cells: Dict[int, List[int]] = {}
+        # Per-cell contiguous storage (rows, vectors, squared norms), built
+        # lazily per cell and dropped when the cell changes — the inverted
+        # "lists hold the vectors" layout real IVF implementations use, so
+        # scoring a cell is a straight GEMM with no gather.
+        self._cell_arrays: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._trained = False
 
     # ------------------------------------------------------------- training
@@ -62,6 +67,7 @@ class IVFIndex(VectorIndex):
         )
         self._centroids = result.centroids
         self._cells = {}
+        self._cell_arrays = {}
         for local, row in enumerate(live_rows):
             self._cells.setdefault(int(result.assignments[local]), []).append(int(row))
         self._trained = True
@@ -73,31 +79,102 @@ class IVFIndex(VectorIndex):
     def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
         if self._trained:
             for row, vec in zip(rows, vectors):
-                self._cells.setdefault(self._assign_cell(vec), []).append(int(row))
+                cell = self._assign_cell(vec)
+                self._cells.setdefault(cell, []).append(int(row))
+                self._cell_arrays.pop(cell, None)
         else:
             self._maybe_train()
 
+    def _cell_entry(self, cell: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        entry = self._cell_arrays.get(cell)
+        if entry is None:
+            rows = np.asarray(self._cells[cell], dtype=np.int64)
+            entry = (rows, self._vectors[rows], self._row_norms[rows])
+            self._cell_arrays[cell] = entry
+        return entry
+
     # --------------------------------------------------------------- search
-    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+    def _search_ids_many(self, queries: np.ndarray, k: int) -> List[List[tuple]]:
         self._maybe_train()
         if not self._trained:
-            rows = np.flatnonzero(~self._deleted)
+            return self._batch_topk(queries, k, rows=np.flatnonzero(~self._deleted))
+        nq = queries.shape[0]
+        ncells = self._centroids.shape[0]
+        # Rank cells for all queries at once. ‖c‖² − 2·q·c orders cells
+        # identically to ‖c − q‖² (the ‖q‖² term is constant per query).
+        cross = queries @ self._centroids.T
+        cell_rank = np.einsum("ij,ij->i", self._centroids, self._centroids)[
+            None, :
+        ] - 2.0 * cross
+        nprobe = min(self.nprobe, ncells)
+        if nprobe < ncells:
+            probe = np.argpartition(cell_rank, nprobe - 1, axis=1)[:, :nprobe]
         else:
-            diff = self._centroids - query
-            cell_dist = np.einsum("ij,ij->i", diff, diff)
-            probe = np.argsort(cell_dist)[: self.nprobe]
-            row_list: List[int] = []
-            for cell in probe:
-                row_list.extend(self._cells.get(int(cell), []))
-            rows = np.asarray(row_list, dtype=np.int64)
-        if rows.size == 0:
-            return []
-        scores = self._score_fn(query, self._vectors[rows])
-        scores = np.where(self._deleted[rows], -np.inf, scores)
-        order = np.argsort(-scores)[: max(k, 1)]
-        return [
-            (int(rows[i]), float(scores[i])) for i in order if np.isfinite(scores[i])
-        ]
+            probe = np.broadcast_to(np.arange(ncells), (nq, ncells))
+        # Invert to cell -> querying-query indices, then score each probed
+        # cell once with a single GEMM shared by every query probing it.
+        cell_to_queries: Dict[int, List[int]] = {}
+        for qi in range(nq):
+            for cell in probe[qi]:
+                cell_to_queries.setdefault(int(cell), []).append(qi)
+        is_l2 = self.metric == "l2"
+        kk = max(k, 1)
+        any_deleted = self._num_deleted > 0
+        cand_rows: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        cand_scores: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        for cell, query_idx in cell_to_queries.items():
+            if not self._cells.get(cell):
+                continue
+            rows, vectors, norms = self._cell_entry(cell)
+            scores = queries[query_idx] @ vectors.T
+            if is_l2:
+                scores *= 2.0
+                scores -= norms[None, :]
+            if any_deleted:
+                deleted = self._deleted[rows]
+                if deleted.any():
+                    scores[:, deleted] = -np.inf
+            # Keep only each query's top-k *within the cell* (one axis
+            # argpartition + take shared by every query probing it). The
+            # global top-k of the probed union is always contained in the
+            # union of per-cell top-ks, so the per-query merge below handles
+            # at most nprobe*k candidates instead of every scanned row.
+            m = rows.size
+            if kk < m:
+                part = np.argpartition(scores, m - kk, axis=1)[:, m - kk :]
+                sel_scores = np.take_along_axis(scores, part, axis=1)
+                sel_rows = rows[part]
+            else:
+                sel_scores = scores
+                sel_rows = np.broadcast_to(rows, scores.shape)
+            for j, qi in enumerate(query_idx):
+                cand_rows[qi].append(sel_rows[j])
+                cand_scores[qi].append(sel_scores[j])
+        results: List[List[tuple]] = []
+        for qi in range(nq):
+            if not cand_rows[qi]:
+                results.append([])
+                continue
+            rows = (
+                np.concatenate(cand_rows[qi])
+                if len(cand_rows[qi]) > 1
+                else cand_rows[qi][0]
+            )
+            scores = (
+                np.concatenate(cand_scores[qi])
+                if len(cand_scores[qi]) > 1
+                else cand_scores[qi][0]
+            )
+            if any_deleted:
+                finite = np.isfinite(scores)  # drop deleted candidates
+                if not finite.all():
+                    rows = rows[finite]
+            exact = self._exact_scores(rows, queries[qi])
+            order = np.argsort(-exact, kind="stable")[:kk]
+            results.append(
+                [(int(r), float(v)) for r, v in zip(rows[order], exact[order])]
+            )
+        return results
 
     # --------------------------------------------------------- maintenance
     def scanned_fraction(self) -> float:

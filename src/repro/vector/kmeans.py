@@ -65,11 +65,12 @@ def kmeans(
     assignments = np.zeros(n, dtype=np.int64)
     prev_inertia: Optional[float] = None
     inertia = 0.0
+    # Point norms never change across Lloyd iterations; compute them once.
+    d_norms = np.einsum("ij,ij->i", data, data)
     for _ in range(max_iter):
         # Assign: squared distance via the expansion trick.
         cross = data @ centroids.T
         c_norms = np.einsum("ij,ij->i", centroids, centroids)
-        d_norms = np.einsum("ij,ij->i", data, data)
         dist_sq = d_norms[:, None] - 2.0 * cross + c_norms[None, :]
         assignments = np.argmin(dist_sq, axis=1)
         inertia = float(dist_sq[np.arange(n), assignments].sum())

@@ -13,7 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import IndexError_
-from .base import VectorIndex
+from .base import QUERY_CHUNK, VectorIndex
 from .kmeans import kmeans
 
 
@@ -84,34 +84,43 @@ class PQIndex(VectorIndex):
         self._codes = np.vstack([self._codes, self._encode(vectors)])
 
     # --------------------------------------------------------------- search
-    def _search_ids(self, query: np.ndarray, k: int) -> List[tuple]:
+    def _search_ids_many(self, queries: np.ndarray, k: int) -> List[List[tuple]]:
         self._maybe_train()
         if self._codebooks is None:
             # Untrained: fall back to exact scan.
-            scores = self._score_fn(query, self._vectors)
-            scores = np.where(self._deleted, -np.inf, scores)
-            order = np.argsort(-scores)[: max(k, 1)]
-            return [(int(r), float(scores[r])) for r in order if np.isfinite(scores[r])]
-        # ADC: per-subspace dot-product tables; similarity is additive.
-        tables = np.einsum(
-            "skd,sd->sk",
-            self._codebooks,
-            query.reshape(self.num_subspaces, self.sub_dim),
-        )
-        scores = tables[np.arange(self.num_subspaces)[None, :], self._codes].sum(axis=1)
-        scores = np.where(self._deleted[: scores.shape[0]], -np.inf, scores)
-        order = np.argsort(-scores)[: max(k * self.rerank_factor, k)]
-        # Re-rank the short list with exact scores (standard PQ refinement);
-        # the rerank pool size trades recall against extra exact distance
-        # computations (crucial when many points are near-equidistant).
-        exact = self._score_fn(query, self._vectors[order])
-        rerank = order[np.argsort(-exact)]
-        exact_sorted = np.sort(-exact)
-        return [
-            (int(row), float(-s))
-            for row, s in zip(rerank, exact_sorted)
-            if np.isfinite(s)
-        ]
+            return self._batch_topk(queries, k)
+        # ADC: per-subspace dot-product tables for the whole chunk at once;
+        # similarity is additive over subspaces. The rerank pool is selected
+        # by ADC score and rescored exactly (standard PQ refinement); the
+        # pool size trades recall against extra exact distance computations
+        # (crucial when many points are near-equidistant).
+        nq = queries.shape[0]
+        n = self._codes.shape[0]
+        pool = min(max(k * self.rerank_factor, k), n)
+        qsub = queries.reshape(nq, self.num_subspaces, self.sub_dim)
+        deleted = self._deleted[:n]
+        any_deleted = self._num_deleted > 0 and bool(deleted.any())
+        results: List[List[tuple]] = []
+        for start in range(0, nq, QUERY_CHUNK):
+            chunk = qsub[start : start + QUERY_CHUNK]
+            tables = np.einsum("skd,nsd->nsk", self._codebooks, chunk)
+            scores = np.zeros((chunk.shape[0], n), dtype=np.float32)
+            for s in range(self.num_subspaces):
+                scores += tables[:, s, self._codes[:, s]]
+            if any_deleted:
+                scores[:, deleted] = -np.inf
+            for i in range(chunk.shape[0]):
+                if pool < n:
+                    top = np.argpartition(scores[i], n - pool)[n - pool :]
+                else:
+                    top = np.arange(n)
+                top = top[np.isfinite(scores[i][top])]  # drop deleted rows
+                exact = self._exact_scores(top, queries[start + i])
+                order = np.argsort(-exact, kind="stable")
+                results.append(
+                    [(int(r), float(v)) for r, v in zip(top[order], exact[order])]
+                )
+        return results
 
     # ----------------------------------------------------------- reporting
     def compression_ratio(self) -> float:
