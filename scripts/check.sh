@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Pre-commit gate: ruff -> mypy (analysis subsystem, strict) -> repro-lint -> tier-1.
+#
+# Usage (from the repo root):
+#     bash scripts/check.sh
+#
+# ruff and mypy are optional dev dependencies (`pip install -e ".[lint]"`);
+# when they are not installed the corresponding step is skipped with a
+# warning so the gate still runs in minimal containers.  repro-lint and the
+# tier-1 pytest run have no dependencies beyond the repo itself and always
+# run.
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+step() {
+    echo
+    echo "==> $1"
+}
+
+step "ruff check"
+if python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src scripts benchmarks tests || failures=$((failures + 1))
+else
+    echo "skipped: ruff not installed (pip install -e '.[lint]')"
+fi
+
+step "mypy src/repro/analysis (strict)"
+if python -m mypy --version >/dev/null 2>&1; then
+    python -m mypy src/repro/analysis/ || failures=$((failures + 1))
+else
+    echo "skipped: mypy not installed (pip install -e '.[lint]')"
+fi
+
+step "repro-lint (scripts/lint.py)"
+python scripts/lint.py || failures=$((failures + 1))
+
+step "tier-1 tests"
+python -m pytest -x -q || failures=$((failures + 1))
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: FAIL ($failures step(s) failed)"
+    exit 1
+fi
+echo "check.sh: ok"

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""repro-lint CLI: run the AST invariant checker over the repository.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/lint.py                 # gate against baseline
+    PYTHONPATH=src python scripts/lint.py --no-baseline   # show every finding
+    PYTHONPATH=src python scripts/lint.py --update-baseline
+    PYTHONPATH=src python scripts/lint.py --list-rules
+    PYTHONPATH=src python scripts/lint.py --select R001,R003 src/repro/vector
+
+Exit status: 0 when no *new* violations exist relative to the checked-in
+baseline (scripts/lint_baseline.json); 1 otherwise.  Stale baseline entries
+(fixed debt) are reported so the baseline can be re-tightened with
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    ALL_RULES,
+    LintConfig,
+    diff_against_baseline,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.report import format_report, summarize  # noqa: E402
+
+DEFAULT_PATHS = ("src", "benchmarks", "tests", "scripts")
+DEFAULT_BASELINE = REPO_ROOT / "scripts" / "lint_baseline.json"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-lint", description=__doc__)
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint (default: %(default)s)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: %(default)s)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report and gate on every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings as the new baseline")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--ignore", default="",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--quiet", action="store_true", help="summary line only")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<24} [{rule.severity}] {rule.description}")
+        print("R000  suppression-hygiene      [error] "
+              "suppressions need '# repro-lint: disable=RXXX — justification'")
+        return 0
+
+    known = {rule.code for rule in ALL_RULES}
+    enabled = set(known)
+    if args.select:
+        enabled = {code.strip() for code in args.select.split(",") if code.strip()}
+    if args.ignore:
+        enabled -= {code.strip() for code in args.ignore.split(",") if code.strip()}
+    unknown = enabled - known
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))} "
+                     f"(known: {', '.join(sorted(known))})")
+    config = LintConfig(enabled=frozenset(enabled))
+
+    result = run_lint(args.paths, config=config, repo_root=REPO_ROOT)
+    if result.files_checked == 0:
+        print(f"repro-lint: error — no .py files found under {args.paths}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        write_baseline(args.baseline, result.violations)
+        print(f"baseline updated: {len(result.violations)} accepted finding(s) "
+              f"-> {args.baseline.relative_to(REPO_ROOT)}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    diff = diff_against_baseline(result.violations, baseline)
+
+    if diff.new and not args.quiet:
+        print(format_report(diff.new))
+    if diff.stale and not args.quiet:
+        print(f"note: {sum(diff.stale.values())} stale baseline entr"
+              f"{'y' if sum(diff.stale.values()) == 1 else 'ies'} (fixed debt); "
+              "run --update-baseline to tighten:", file=sys.stderr)
+        for fingerprint in sorted(diff.stale):
+            print(f"  stale: {fingerprint}", file=sys.stderr)
+
+    status = "FAIL" if diff.new else "ok"
+    print(
+        f"repro-lint: {status} — {result.files_checked} files, "
+        f"{len(diff.new)} new, {len(diff.baselined)} baselined, "
+        f"{sum(diff.stale.values())} stale"
+        + (f" | new: {summarize(diff.new)}" if diff.new else "")
+    )
+    return 1 if diff.new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

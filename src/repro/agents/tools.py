@@ -96,7 +96,7 @@ class ToolRegistry:
         try:
             observation = tool(argument)
             return ToolCall(tool=name, argument=argument, observation=observation)
-        except Exception as exc:  # noqa: BLE001 - agent must survive tool errors
+        except Exception as exc:  # repro-lint: disable=R002 — agent must survive arbitrary tool errors and report them as observations
             return ToolCall(
                 tool=name,
                 argument=argument,

@@ -1,0 +1,56 @@
+"""repro.analysis — AST-based invariant checker ("repro-lint") for the stack.
+
+The test suite can only spot-check the properties the reproduction's
+credibility rests on: deterministic simulators (the golden-metric tests
+assume bit-identical trajectories), a closed exception taxonomy rooted at
+:class:`repro.errors.ReproError`, and the strict dtype discipline the
+vectorized ANN kernels need for bitwise parity.  This package enforces those
+invariants statically, at analysis time, so a refactor cannot silently break
+a golden test three PRs later.
+
+Rules
+-----
+R001  determinism — no wall-clock or unseeded/global RNG in simulator hot paths
+R002  exception taxonomy — only ``ReproError`` subclasses may be raised
+R003  dtype discipline — numpy constructors in kernel code need explicit dtype
+R004  no mutable default arguments
+R005  public-API annotations — re-exported callables must be fully annotated
+R006  perf-test hygiene — ``benchmarks/perf`` tests must carry the perf marker
+
+Usage::
+
+    from repro.analysis import LintConfig, run_lint
+
+    result = run_lint(["src", "benchmarks", "tests"], config=LintConfig())
+    for violation in result.violations:
+        print(violation.format())
+
+The command-line entry point is ``scripts/lint.py``; see README "Static
+analysis" for the suppression syntax and baseline workflow.
+"""
+
+from .baseline import BaselineDiff, diff_against_baseline, load_baseline, write_baseline
+from .config import LintConfig
+from .driver import LintResult, ModuleInfo, collect_files, run_lint
+from .report import Severity, Violation, format_report
+from .rules import ALL_RULES, Rule
+from .suppress import SuppressionIndex, scan_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "BaselineDiff",
+    "LintConfig",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "Severity",
+    "SuppressionIndex",
+    "Violation",
+    "collect_files",
+    "diff_against_baseline",
+    "format_report",
+    "load_baseline",
+    "run_lint",
+    "scan_suppressions",
+    "write_baseline",
+]

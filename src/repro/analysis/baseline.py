@@ -1,0 +1,78 @@
+"""Baseline files: burn legacy debt down incrementally instead of all at once.
+
+A baseline is a checked-in JSON map of violation fingerprints (see
+:attr:`repro.analysis.report.Violation.fingerprint`) to occurrence counts.
+A lint run fails only on *new* violations — findings whose fingerprint count
+exceeds the baseline's.  Fingerprints are line-number-free so unrelated
+edits above a legacy finding do not un-baseline it; fixing a baselined
+finding makes its entry *stale*, which ``scripts/lint.py`` reports so the
+baseline keeps shrinking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .report import Violation
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of comparing a lint run against a baseline."""
+
+    new: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    stale: Dict[str, int] = field(default_factory=dict)  # fingerprint -> unused count
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts = data.get("counts", {})
+    return {str(fingerprint): int(count) for fingerprint, count in counts.items()}
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Write the current findings as the new accepted-debt baseline."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.fingerprint] = counts.get(violation.fingerprint, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": "accepted legacy repro-lint debt; regenerate with scripts/lint.py --update-baseline",
+        "counts": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def diff_against_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> BaselineDiff:
+    """Split findings into new vs baselined; report stale baseline entries.
+
+    For a fingerprint with baseline count *n*, the first *n* occurrences
+    (lowest line numbers first) are treated as the known legacy ones and any
+    excess is new — so adding a second identical violation to a file still
+    fails even though the first is accepted.
+    """
+    diff = BaselineDiff()
+    remaining = dict(baseline)
+    for violation in sorted(violations):
+        if remaining.get(violation.fingerprint, 0) > 0:
+            remaining[violation.fingerprint] -= 1
+            diff.baselined.append(violation)
+        else:
+            diff.new.append(violation)
+    diff.stale = {fingerprint: count for fingerprint, count in remaining.items() if count > 0}
+    return diff

@@ -1,0 +1,86 @@
+"""Configuration for repro-lint: rule scopes, allowlists, and path anchors.
+
+Everything is expressed as repo-relative posix path prefixes so the checker
+is independent of the working directory it is invoked from.  The defaults
+encode this repository's invariants; tests construct narrower configs over
+fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+ALL_RULE_CODES: Tuple[str, ...] = ("R001", "R002", "R003", "R004", "R005", "R006")
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/").strip("/")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scoping and allowlists for the six repro-lint rules."""
+
+    # Which rules run at all (R000, the suppression meta-rule, always runs).
+    enabled: FrozenSet[str] = field(default_factory=lambda: frozenset(ALL_RULE_CODES))
+
+    # R001: simulator hot paths that must stay deterministic.  RNG must be an
+    # injected, seeded Generator (see repro.utils.derive_rng); wall-clock and
+    # global/unseeded random sources are banned under these prefixes.
+    hot_path_prefixes: Tuple[str, ...] = (
+        "src/repro/inference",
+        "src/repro/training",
+        "src/repro/vector",
+    )
+
+    # R002: the closed exception taxonomy.  The driver parses this module and
+    # collects every class transitively derived from ``taxonomy_root``.
+    taxonomy_module: str = "src/repro/errors.py"
+    taxonomy_root: str = "ReproError"
+    # Raises scoped to library code only.
+    taxonomy_prefixes: Tuple[str, ...] = ("src/repro",)
+    # Abstract interface methods conventionally raise NotImplementedError.
+    allowed_raises: FrozenSet[str] = field(default_factory=lambda: frozenset({"NotImplementedError"}))
+
+    # R003: kernel code whose bitwise-parity guarantees depend on explicit
+    # dtypes (see tests/test_vector_batch.py).
+    dtype_prefixes: Tuple[str, ...] = ("src/repro/vector",)
+    dtype_files: Tuple[str, ...] = ("src/repro/inference/kvcache.py",)
+    dtype_constructors: FrozenSet[str] = field(
+        default_factory=lambda: frozenset({"array", "zeros", "empty", "ones", "full"})
+    )
+
+    # R005: packages whose ``__init__.py`` re-exports define the public API.
+    public_api_root: str = "src/repro"
+
+    # R006: perf tests live here and must never leak into tier-1.
+    perf_prefixes: Tuple[str, ...] = ("benchmarks/perf",)
+    perf_marker: str = "perf"
+
+    def is_hot_path(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, self.hot_path_prefixes)
+
+    def in_taxonomy_scope(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, self.taxonomy_prefixes)
+
+    def in_dtype_scope(self, relpath: str) -> bool:
+        rel = _norm(relpath)
+        return _starts_with_any(rel, self.dtype_prefixes) or rel in {
+            _norm(f) for f in self.dtype_files
+        }
+
+    def in_perf_scope(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, self.perf_prefixes)
+
+    def in_public_api_scope(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, (self.public_api_root,))
+
+
+def _starts_with_any(relpath: str, prefixes: Tuple[str, ...]) -> bool:
+    rel = _norm(relpath)
+    for prefix in prefixes:
+        norm = _norm(prefix)
+        if rel == norm or rel.startswith(norm + "/"):
+            return True
+    return False

@@ -1,0 +1,253 @@
+"""Lint driver: file collection, parsing, repo context, and rule dispatch.
+
+The driver owns everything that needs a repository view rather than a single
+module: collecting files, parsing them once, extracting the exception
+taxonomy from ``repro/errors.py``, resolving ``__init__.py`` re-export
+chains for the public-API rule, and applying inline suppressions to the
+raw findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig
+from .report import Severity, Violation
+from .rules import ALL_RULES, Rule, RuleContext, collect_import_aliases
+from .suppress import scan_suppressions
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache", ".ruff_cache"}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, addressed by repo-relative posix path."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    _aliases: Optional[Dict[str, str]] = field(default=None, repr=False)
+
+    @property
+    def aliases(self) -> Dict[str, str]:
+        if self._aliases is None:
+            self._aliases = collect_import_aliases(self.tree)
+        return self._aliases
+
+
+@dataclass
+class LintResult:
+    """Everything a lint run produced, pre-sorted for stable output."""
+
+    violations: List[Violation]
+    files_checked: int
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+
+def collect_files(paths: Sequence[str], repo_root: Path) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = repo_root / path
+        if path.is_file() and path.suffix == ".py":
+            seen.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.add(candidate.resolve())
+    return sorted(seen)
+
+
+def _relpath(path: Path, repo_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_taxonomy(repo_root: Path, config: LintConfig) -> FrozenSet[str]:
+    """Names of every class transitively derived from the taxonomy root.
+
+    Plain ``Alias = SomeTaxonomyClass`` assignments count too, so deprecated
+    aliases of renamed exception classes stay accepted by R002.
+    """
+    module_path = repo_root / config.taxonomy_module
+    if not module_path.is_file():
+        return frozenset()
+    tree = ast.parse(module_path.read_text(encoding="utf-8"))
+    bases: Dict[str, List[str]] = {}
+    aliases: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = [
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ]
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases[target.id] = node.value.id
+    taxonomy: Set[str] = {config.taxonomy_root}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in taxonomy and any(parent in taxonomy for parent in parents):
+                taxonomy.add(name)
+                changed = True
+        for alias, target in aliases.items():
+            if alias not in taxonomy and target in taxonomy:
+                taxonomy.add(alias)
+                changed = True
+    return frozenset(taxonomy)
+
+
+def _import_target(
+    init_path: Path, node: ast.ImportFrom, repo_root: Path
+) -> Optional[Path]:
+    """Resolve a relative ``from .mod import name`` to a source file path."""
+    if node.level == 0:
+        return None  # absolute imports are third-party or self-package noise
+    base = init_path.parent
+    for _ in range(node.level - 1):
+        base = base.parent
+    if node.module:
+        base = base.joinpath(*node.module.split("."))
+    as_module = base.with_suffix(".py")
+    if as_module.is_file():
+        return as_module
+    as_package = base / "__init__.py"
+    if as_package.is_file():
+        return as_package
+    return None
+
+
+def collect_exports(repo_root: Path, config: LintConfig) -> Dict[str, FrozenSet[str]]:
+    """Map module relpath -> names that some ``__init__.py`` re-exports from it.
+
+    Chains through intermediate package ``__init__.py`` files (``repro``
+    re-exporting from ``repro.data`` which re-exports from ``data.world``)
+    until the defining module is found.
+    """
+    api_root = repo_root / config.public_api_root
+    if not api_root.is_dir():
+        return {}
+    trees: Dict[Path, ast.Module] = {}
+
+    def tree_of(path: Path) -> Optional[ast.Module]:
+        resolved = path.resolve()
+        if resolved not in trees:
+            try:
+                trees[resolved] = ast.parse(resolved.read_text(encoding="utf-8"))
+            except (OSError, SyntaxError):
+                return None
+        return trees[resolved]
+
+    def defines(path: Path, name: str) -> bool:
+        tree = tree_of(path)
+        if tree is None:
+            return False
+        return any(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and node.name == name
+            for node in tree.body
+        )
+
+    def resolve(path: Path, name: str, depth: int = 0) -> Optional[Path]:
+        """Find the file whose top level defines ``name``, chasing re-exports."""
+        if depth > 8:
+            return None
+        if defines(path, name):
+            return path
+        tree = tree_of(path)
+        if tree is None:
+            return None
+        for node in tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for item in node.names:
+                if (item.asname or item.name) != name:
+                    continue
+                target = _import_target(path, node, repo_root)
+                if target is not None:
+                    return resolve(target, item.name, depth + 1)
+        return None
+
+    exports: Dict[str, Set[str]] = {}
+    for init_path in sorted(api_root.rglob("__init__.py")):
+        tree = tree_of(init_path)
+        if tree is None:
+            continue
+        for node in tree.body:
+            if not isinstance(node, ast.ImportFrom) or node.level == 0:
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                target = _import_target(init_path, node, repo_root)
+                if target is None:
+                    continue
+                defining = resolve(target, item.name)
+                if defining is None:
+                    continue
+                exports.setdefault(_relpath(defining, repo_root), set()).add(item.name)
+    return {relpath: frozenset(names) for relpath, names in exports.items()}
+
+
+def build_context(repo_root: Path, config: LintConfig) -> RuleContext:
+    """Compute the repo-wide facts every rule shares for one run."""
+    return RuleContext(
+        config=config,
+        taxonomy=collect_taxonomy(repo_root, config),
+        exports=collect_exports(repo_root, config),
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    config: Optional[LintConfig] = None,
+    repo_root: Optional[Path] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` and return suppression-filtered, sorted violations."""
+    config = config or LintConfig()
+    repo_root = (repo_root or Path.cwd()).resolve()
+    active: Tuple[Rule, ...] = tuple(
+        rule for rule in (rules if rules is not None else ALL_RULES)
+        if rule.code in config.enabled
+    )
+    context = build_context(repo_root, config)
+    violations: List[Violation] = []
+    files = collect_files(paths, repo_root)
+    for path in files:
+        relpath = _relpath(path, repo_root)
+        source = path.read_text(encoding="utf-8")
+        suppressions = scan_suppressions(relpath, source)
+        violations.extend(suppressions.problems)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    code="R999",
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        module = ModuleInfo(relpath=relpath, source=source, tree=tree)
+        for rule in active:
+            for violation in rule.check(module, context):
+                if not suppressions.is_suppressed(violation.code, violation.line):
+                    violations.append(violation)
+    return LintResult(violations=sorted(violations), files_checked=len(files))

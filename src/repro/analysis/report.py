@@ -1,0 +1,77 @@
+"""Violation records, severities, and ``file:line: CODE message`` rendering."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How strongly a finding gates the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """A single finding, addressable by file/line and stable fingerprint."""
+
+    path: str  # repo-relative posix path
+    line: int
+    code: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used for baseline matching.
+
+        Line numbers drift under unrelated edits, so the baseline keys on
+        ``path::code::message`` (with a per-fingerprint count handling
+        repeated identical findings in one file).
+        """
+        return f"{self.path}::{self.code}::{self.message}"
+
+    def format(self) -> str:
+        """Render as ``file:line: CODE [severity] message``."""
+        return f"{self.path}:{self.line}: {self.code} [{self.severity}] {self.message}"
+
+
+def count_fingerprints(violations: Sequence[Violation]) -> Dict[str, int]:
+    """Map fingerprint -> number of occurrences across ``violations``."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.fingerprint] = counts.get(violation.fingerprint, 0) + 1
+    return counts
+
+
+def format_report(
+    violations: Sequence[Violation],
+    *,
+    max_lines: int = 0,
+) -> str:
+    """Render violations sorted by location, one per line.
+
+    ``max_lines`` > 0 truncates the listing with an elision note so CI logs
+    stay readable when a rule first lands on a legacy codebase.
+    """
+    ordered = sorted(violations)
+    lines: List[str] = [violation.format() for violation in ordered]
+    if max_lines and len(lines) > max_lines:
+        hidden = len(lines) - max_lines
+        lines = lines[:max_lines] + [f"... and {hidden} more"]
+    return "\n".join(lines)
+
+
+def summarize(violations: Sequence[Violation]) -> str:
+    """One-line per-rule tally, e.g. ``R002=3 R005=12 (15 total)``."""
+    per_code: Dict[str, int] = {}
+    for violation in violations:
+        per_code[violation.code] = per_code.get(violation.code, 0) + 1
+    parts: Tuple[str, ...] = tuple(f"{code}={per_code[code]}" for code in sorted(per_code))
+    return " ".join(parts) + f" ({len(violations)} total)" if parts else "(0 total)"

@@ -1,0 +1,465 @@
+"""The six repro-lint rules, one checker class per invariant.
+
+Each rule walks a parsed module (:class:`repro.analysis.driver.ModuleInfo`)
+and yields :class:`~repro.analysis.report.Violation` records.  Rules are
+pure: all repository context (exception taxonomy, public-API export index)
+is computed once by the driver and passed in via :class:`RuleContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .config import LintConfig
+from .report import Severity, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .driver import ModuleInfo
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Repository-wide facts shared by all rules for one lint run."""
+
+    config: LintConfig
+    # Class names transitively derived from ReproError (R002).
+    taxonomy: FrozenSet[str] = field(default_factory=frozenset)
+    # relpath -> names re-exported from that module via some __init__.py (R005).
+    exports: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+
+class Rule:
+    """Base checker: subclasses set ``code``/``name`` and implement check()."""
+
+    code: str = "R999"
+    name: str = "abstract"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: "ModuleInfo", node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def resolve_call_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an expression to a dotted module-level name, through imports.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; ``rng.choice`` on a local variable resolves
+    to ``None`` (not a module-level name), which callers treat as "not ours
+    to judge".
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import time`` -> {"time": "time"}; ``import numpy as np`` ->
+    {"np": "numpy"}; ``from time import time as now`` -> {"now": "time.time"}.
+    Relative imports keep their dots stripped (rule scopes never target them).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+# --------------------------------------------------------------------------- R001
+
+
+class DeterminismRule(Rule):
+    """R001: simulator hot paths must not read wall clocks or global RNG.
+
+    The golden-metric tests (tests/test_scheduler_golden.py) assume
+    bit-identical trajectories, which only hold when every stochastic choice
+    flows through an injected seeded ``numpy.random.Generator`` (see
+    ``repro.utils.derive_rng``) and no control flow depends on real time.
+    """
+
+    code = "R001"
+    name = "determinism"
+    description = "no wall-clock or unseeded/global RNG in simulator hot paths"
+
+    _WALL_CLOCK: FrozenSet[str] = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.date.today",
+        }
+    )
+    # numpy legacy API: all of these mutate/read the hidden global RandomState.
+    _NUMPY_GLOBAL: FrozenSet[str] = frozenset(
+        {
+            "seed", "rand", "randn", "randint", "random", "random_sample",
+            "choice", "shuffle", "permutation", "normal", "uniform", "standard_normal",
+            "binomial", "poisson", "beta", "gamma", "exponential", "bytes",
+        }
+    )
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        if not context.config.is_hot_path(module.relpath):
+            return
+        aliases = module.aliases
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_call_name(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in self._WALL_CLOCK:
+                yield self.violation(
+                    module, node,
+                    f"wall-clock call {dotted}() in simulator hot path; "
+                    "derive timestamps from simulated clocks",
+                )
+            elif dotted.startswith("random."):
+                yield self.violation(
+                    module, node,
+                    f"stdlib global RNG {dotted}() in hot path; "
+                    "inject a seeded numpy Generator (repro.utils.derive_rng)",
+                )
+            elif dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+                if tail in self._NUMPY_GLOBAL:
+                    yield self.violation(
+                        module, node,
+                        f"global-state RNG numpy.random.{tail}() in hot path; "
+                        "use an injected seeded Generator",
+                    )
+                elif tail == "default_rng" and not node.args and not node.keywords:
+                    yield self.violation(
+                        module, node,
+                        "numpy.random.default_rng() without a seed in hot path; "
+                        "pass an explicit seed (repro.utils.derive_rng)",
+                    )
+
+
+# --------------------------------------------------------------------------- R002
+
+
+def _exception_name(node: ast.expr) -> Optional[str]:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _looks_like_exception_class(name: str) -> bool:
+    return name[:1].isupper() and (
+        name.endswith("Error") or name.endswith("Exception") or name.endswith("Warning")
+    )
+
+
+class ExceptionTaxonomyRule(Rule):
+    """R002: library raises stay inside the ReproError taxonomy.
+
+    Callers are promised a single ``except ReproError`` catches every library
+    failure (src/repro/errors.py docstring); a stray ValueError breaks that
+    contract silently.  Bare ``except:`` and ``except Exception`` without a
+    re-raise are flagged too — they swallow taxonomy violations.
+    """
+
+    code = "R002"
+    name = "exception-taxonomy"
+    description = "raise only ReproError subclasses; no swallowing broad excepts"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        if not context.config.in_taxonomy_scope(module.relpath):
+            return
+        if module.relpath.replace("\\", "/") == context.config.taxonomy_module:
+            return  # the taxonomy itself defines, not raises
+        allowed = context.taxonomy | context.config.allowed_raises
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                if node.exc is None:
+                    continue  # bare re-raise inside an except block
+                name = _exception_name(node.exc)
+                if name is None or name in allowed:
+                    continue
+                # `raise exc` re-raising a captured variable is fine; only
+                # names that look like exception classes are judged.
+                if isinstance(node.exc, ast.Call) or _looks_like_exception_class(name):
+                    yield self.violation(
+                        module, node,
+                        f"raises {name}, which is outside the ReproError taxonomy "
+                        "(src/repro/errors.py)",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    def _check_handler(
+        self, module: "ModuleInfo", handler: ast.ExceptHandler
+    ) -> Iterator[Violation]:
+        if handler.type is None:
+            yield self.violation(
+                module, handler, "bare 'except:' hides taxonomy violations; name the exception"
+            )
+            return
+        names = [
+            _exception_name(elt)
+            for elt in (
+                handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+            )
+        ]
+        if not any(name in {"Exception", "BaseException"} for name in names):
+            return
+        reraises = any(isinstance(inner, ast.Raise) for inner in ast.walk(handler))
+        if not reraises:
+            yield self.violation(
+                module, handler,
+                "'except Exception' without re-raise swallows non-taxonomy errors; "
+                "narrow the type or re-raise as a ReproError",
+            )
+
+
+# --------------------------------------------------------------------------- R003
+
+
+class DtypeDisciplineRule(Rule):
+    """R003: kernel numpy constructors must pin an explicit dtype.
+
+    The batched ANN kernels guarantee bitwise parity with their scalar
+    counterparts (tests/test_vector_batch.py); an implicit platform-default
+    dtype in an allocation is exactly the kind of drift that breaks parity
+    only on some machines.
+    """
+
+    code = "R003"
+    name = "dtype-discipline"
+    description = "np.array/np.zeros/np.empty/... in kernel code need dtype="
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        if not context.config.in_dtype_scope(module.relpath):
+            return
+        constructors = context.config.dtype_constructors
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_call_name(node.func, module.aliases)
+            if dotted is None or not dotted.startswith("numpy."):
+                continue
+            tail = dotted[len("numpy."):]
+            if tail not in constructors:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # np.array(x, float) — positional dtype is the 2nd arg for array/full's 3rd.
+            positional_dtype = (tail == "array" and len(node.args) >= 2) or (
+                tail == "full" and len(node.args) >= 3
+            )
+            if positional_dtype:
+                continue
+            yield self.violation(
+                module, node,
+                f"numpy.{tail}() without explicit dtype in kernel code; "
+                "pin dtype to preserve bitwise parity",
+            )
+
+
+# --------------------------------------------------------------------------- R004
+
+
+class MutableDefaultRule(Rule):
+    """R004: no mutable default arguments (shared state across calls)."""
+
+    code = "R004"
+    name = "mutable-default"
+    description = "default argument values must be immutable"
+
+    _MUTABLE_CALLS: FrozenSet[str] = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        module, default,
+                        f"mutable default argument in {node.name}(); "
+                        "use None and construct inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+# --------------------------------------------------------------------------- R005
+
+
+class PublicApiAnnotationRule(Rule):
+    """R005: re-exported callables are the contract — annotate them fully.
+
+    A name re-exported through a package ``__init__.py`` is public API; every
+    parameter and the return type must carry annotations so the contract is
+    checkable (and so mypy users downstream get real types, not Any).
+    """
+
+    code = "R005"
+    name = "public-api-annotations"
+    severity = Severity.WARNING
+    description = "exported functions/methods must be fully type-annotated"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        exported = context.exports.get(module.relpath.replace("\\", "/"))
+        if not exported:
+            return
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name in exported:
+                yield from self._check_function(module, node, owner=None)
+            elif isinstance(node, ast.ClassDef) and node.name in exported:
+                for item in node.body:
+                    if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if item.name.startswith("_") and item.name != "__init__":
+                        continue
+                    yield from self._check_function(module, item, owner=node.name)
+
+    def _check_function(
+        self,
+        module: "ModuleInfo",
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        owner: Optional[str],
+    ) -> Iterator[Violation]:
+        label = f"{owner}.{node.name}" if owner else node.name
+        args = node.args
+        positional = args.posonlyargs + args.args
+        if owner is not None and positional and positional[0].arg in {"self", "cls"}:
+            positional = positional[1:]
+        missing = [arg.arg for arg in positional + args.kwonlyargs if arg.annotation is None]
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(f"*{vararg.arg}")
+        if missing:
+            yield self.violation(
+                module, node,
+                f"public {label}() missing parameter annotations: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield self.violation(
+                module, node, f"public {label}() missing return annotation"
+            )
+
+
+# --------------------------------------------------------------------------- R006
+
+
+class PerfMarkerRule(Rule):
+    """R006: every test under benchmarks/perf carries the ``perf`` marker.
+
+    Tier-1 runs with ``-m "not perf"`` (pyproject addopts); an unmarked perf
+    test would silently join tier-1 and make it timing-sensitive.
+    """
+
+    code = "R006"
+    name = "perf-marker"
+    description = "benchmarks/perf tests must be marked @pytest.mark.perf"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        relpath = module.relpath.replace("\\", "/")
+        if not context.config.in_perf_scope(relpath):
+            return
+        filename = relpath.rsplit("/", 1)[-1]
+        if not (filename.startswith("test_") and filename.endswith(".py")):
+            return
+        marker = context.config.perf_marker
+        if self._module_marked(module.tree, marker):
+            return
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("test_") and not self._decorated(node, marker):
+                    yield self.violation(
+                        module, node,
+                        f"perf test {node.name}() lacks @pytest.mark.{marker}; "
+                        "it would leak into tier-1",
+                    )
+            elif isinstance(node, ast.ClassDef) and node.name.startswith("Test"):
+                if not self._decorated(node, marker):
+                    yield self.violation(
+                        module, node,
+                        f"perf test class {node.name} lacks @pytest.mark.{marker}; "
+                        "it would leak into tier-1",
+                    )
+
+    def _module_marked(self, tree: ast.Module, marker: str) -> bool:
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "pytestmark" for t in node.targets
+            ):
+                continue
+            values = node.value.elts if isinstance(node.value, (ast.List, ast.Tuple)) else [node.value]
+            if any(self._is_marker(value, marker) for value in values):
+                return True
+        return False
+
+    def _decorated(self, node: ast.AST, marker: str) -> bool:
+        return any(
+            self._is_marker(decorator, marker)
+            for decorator in getattr(node, "decorator_list", [])
+        )
+
+    def _is_marker(self, node: ast.expr, marker: str) -> bool:
+        target = node.func if isinstance(node, ast.Call) else node
+        return isinstance(target, ast.Attribute) and target.attr == marker
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    ExceptionTaxonomyRule(),
+    DtypeDisciplineRule(),
+    MutableDefaultRule(),
+    PublicApiAnnotationRule(),
+    PerfMarkerRule(),
+)

@@ -1,0 +1,114 @@
+"""Inline suppression comments: ``# repro-lint: disable=RXXX — justification``.
+
+A suppression silences the named rule(s) on its own line; a comment-only line
+suppresses the next code line instead, so both styles work::
+
+    x = risky_call()  # repro-lint: disable=R001 — wall clock feeds a log label
+
+    # repro-lint: disable=R002,R005 — third-party callback signature is fixed
+    def handler(*args): ...
+
+The justification after the rule list is **required**: a suppression without
+one is itself reported (code R000) so silenced debt always carries a reason.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .report import Severity, Violation
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
+    r"(?P<rest>.*)$"
+)
+# Separators accepted between the rule list and the justification text.
+_JUSTIFICATION = re.compile(r"^[\s:—–-]*(?P<text>.*\S)?\s*$")
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of line -> suppressed rule codes, plus malformed directives."""
+
+    path: str
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    problems: List[Violation] = field(default_factory=list)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        return code in self.by_line.get(line, frozenset())
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str, bool]]:
+    """Yield ``(line, comment_text, line_is_comment_only)`` for each comment.
+
+    Falls back to a regex scan when the file does not tokenize (the driver
+    reports the syntax error separately; suppressions still best-effort work).
+    """
+    out: List[Tuple[int, str, bool]] = []
+    lines = source.splitlines()
+    try:
+        for tok in tokenize.generate_tokens(StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                row = tok.start[0]
+                text_before = lines[row - 1][: tok.start[1]]
+                out.append((row, tok.string, not text_before.strip()))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for idx, raw in enumerate(lines, start=1):
+            pos = raw.find("#")
+            if pos >= 0:
+                out.append((idx, raw[pos:], not raw[:pos].strip()))
+    return out
+
+
+def _next_code_line(lines: List[str], comment_line: int) -> int:
+    """First line after ``comment_line`` that holds code (skip blanks/comments)."""
+    for idx in range(comment_line, len(lines)):
+        stripped = lines[idx].strip()
+        if stripped and not stripped.startswith("#"):
+            return idx + 1  # 1-based
+    return comment_line
+
+
+def scan_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Parse every ``repro-lint: disable=`` directive in ``source``."""
+    index = SuppressionIndex(path=path)
+    lines = source.splitlines()
+    for row, comment, comment_only in _comment_tokens(source):
+        match = _DIRECTIVE.search(comment)
+        if match is None:
+            if "repro-lint" in comment:
+                index.problems.append(
+                    Violation(
+                        path=path,
+                        line=row,
+                        code="R000",
+                        message="malformed repro-lint directive "
+                        "(expected '# repro-lint: disable=RXXX — justification')",
+                        severity=Severity.ERROR,
+                    )
+                )
+            continue
+        codes = frozenset(part.strip() for part in match.group("codes").split(","))
+        justification_match = _JUSTIFICATION.match(match.group("rest"))
+        justification = (justification_match.group("text") or "") if justification_match else ""
+        if not justification:
+            index.problems.append(
+                Violation(
+                    path=path,
+                    line=row,
+                    code="R000",
+                    message=f"suppression of {','.join(sorted(codes))} lacks a "
+                    "justification (add '— why' after the rule list)",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        target = _next_code_line(lines, row) if comment_only else row
+        merged: Set[str] = set(index.by_line.get(target, frozenset()))
+        merged.update(codes)
+        index.by_line[target] = frozenset(merged)
+    return index

@@ -26,6 +26,7 @@ from ..data.world import QAGenerator, World, WorldConfig
 from ..datalake.catalog import DataLake
 from ..datalake.executor import LakeAnalytics
 from ..errors import ConfigError
+from ..llm.cost import Usage
 from ..llm.embedding import EmbeddingModel
 from ..llm.hub import ModelHub, default_hub
 from ..llm.model import SimLLM
@@ -156,6 +157,6 @@ class DataAI:
         """Answer an analytics question over the multi-modal lake."""
         return self.lake_analytics.ask(question).answer
 
-    def usage(self):
+    def usage(self) -> Usage:
         """Total LLM usage across every component (shared ledger)."""
         return self.llm.usage

@@ -41,7 +41,7 @@ class Plan:
     steps: List[PlanStep] = field(default_factory=list)
     description: str = ""
 
-    def add(self, op_name: str, *, inputs: Optional[List[str]] = None, **params) -> str:
+    def add(self, op_name: str, *, inputs: Optional[List[str]] = None, **params: object) -> str:
         """Append a step; named ``op_name`` so operator params may use ``op``."""
         step_id = f"s{len(self.steps)}"
         self.steps.append(

@@ -28,11 +28,11 @@ class BudgetExceededError(ModelError):
     """A cost or token budget was exhausted mid-task."""
 
 
-class IndexError_(ReproError):
-    """A vector-index operation failed (name avoids shadowing builtins)."""
+class VectorIndexError(ReproError):
+    """A vector-index operation failed."""
 
 
-class DimensionMismatchError(IndexError_):
+class DimensionMismatchError(VectorIndexError):
     """A vector had the wrong dimensionality for the index."""
 
 
@@ -74,3 +74,21 @@ class WorkloadError(ReproError):
 
 class PipelineError(ReproError):
     """A data-preparation pipeline stage failed."""
+
+
+def __getattr__(name: str) -> type:
+    """Deprecated aliases kept importable for one release.
+
+    ``IndexError_`` (the old awkward builtin-shadow-avoiding name) became
+    :class:`VectorIndexError`; importing the old name still works but warns.
+    """
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; use VectorIndexError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return VectorIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -52,14 +52,18 @@ class EvictionPolicy(abc.ABC):
 class LRUPolicy(EvictionPolicy):
     name = "lru"
 
-    def choose_victim(self, entries, children):
+    def choose_victim(
+        self, entries: Dict[str, CacheEntry], children: Dict[str, Set[str]]
+    ) -> str:
         return min(entries.values(), key=lambda e: (e.last_used, e.key)).key
 
 
 class LFUPolicy(EvictionPolicy):
     name = "lfu"
 
-    def choose_victim(self, entries, children):
+    def choose_victim(
+        self, entries: Dict[str, CacheEntry], children: Dict[str, Set[str]]
+    ) -> str:
         return min(entries.values(), key=lambda e: (e.uses, e.last_used, e.key)).key
 
 
@@ -71,7 +75,9 @@ class AllOrNothingPolicy(EvictionPolicy):
 
     name = "all-or-nothing"
 
-    def choose_victim(self, entries, children):
+    def choose_victim(
+        self, entries: Dict[str, CacheEntry], children: Dict[str, Set[str]]
+    ) -> str:
         return min(entries.values(), key=lambda e: (e.last_used, e.key)).key
 
 
@@ -80,7 +86,9 @@ class DependencyTreePolicy(EvictionPolicy):
 
     name = "dependency-tree"
 
-    def choose_victim(self, entries, children):
+    def choose_victim(
+        self, entries: Dict[str, CacheEntry], children: Dict[str, Set[str]]
+    ) -> str:
         leaves = [
             e for e in entries.values() if not children.get(e.key)
         ]

@@ -80,10 +80,22 @@ class ReservedAllocator:
         self._used: Dict[str, int] = {}  # request -> tokens actually written
         self.stats = KVStats(capacity_tokens=capacity_tokens)
 
-    def can_admit(self, request_id: str, prompt_tokens: int, prefix_id=None, prefix_tokens=0) -> bool:
+    def can_admit(
+        self,
+        request_id: str,
+        prompt_tokens: int,
+        prefix_id: Optional[str] = None,
+        prefix_tokens: int = 0,
+    ) -> bool:
         return self.stats.reserved_tokens + self.max_seq_len <= self.capacity_tokens
 
-    def admit(self, request_id: str, prompt_tokens: int, prefix_id=None, prefix_tokens=0) -> int:
+    def admit(
+        self,
+        request_id: str,
+        prompt_tokens: int,
+        prefix_id: Optional[str] = None,
+        prefix_tokens: int = 0,
+    ) -> int:
         """Returns the number of prompt tokens already cached (always 0 here)."""
         if not self.can_admit(request_id, prompt_tokens):
             raise CacheError("out of KV memory (reservation)")

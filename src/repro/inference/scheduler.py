@@ -139,7 +139,9 @@ class ContinuousBatchScheduler(SchedulerPolicy):
         self.chunk_tokens = chunk_tokens
         self.name = "chunked-prefill" if chunk_tokens else "continuous"
 
-    def plan_iteration(self, engine):
+    def plan_iteration(
+        self, engine: "ServingEngine"
+    ) -> Tuple[List[Tuple[_Running, int]], List[_Running]]:
         # ``_decoding`` preserves admission order (prefill budget is granted
         # in admission order, so completions land in admission order too),
         # matching the old filter over ``running.values()``.
@@ -172,7 +174,9 @@ class ShortestJobFirstScheduler(ContinuousBatchScheduler):
         remaining = seq.request.output_tokens - seq.decoded
         heapq.heappush(self._heap, (remaining, seq.admit_index, seq))
 
-    def plan_iteration(self, engine):
+    def plan_iteration(
+        self, engine: "ServingEngine"
+    ) -> Tuple[List[Tuple[_Running, int]], List[_Running]]:
         heap = self._heap
         decoding: List[_Running] = []
         running = engine.running
@@ -204,12 +208,14 @@ class StaticBatchScheduler(SchedulerPolicy):
         self.admit_cap = batch_size
         self.name = "static"
 
-    def plan_iteration(self, engine):
+    def plan_iteration(
+        self, engine: "ServingEngine"
+    ) -> Tuple[List[Tuple[_Running, int]], List[_Running]]:
         prefill_work = _plan_prefill(engine._prefilling.values(), None)
         decoding = list(engine._decoding.values())
         return prefill_work, decoding
 
-    def may_admit(self, engine):
+    def may_admit(self, engine: "ServingEngine") -> bool:
         # Only admit when the previous batch has fully drained.
         return not engine.running
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import WorkloadError
 from ..utils import derive_rng
 from .request import Request
@@ -26,7 +28,7 @@ class LengthDistribution:
     lo: int = 16
     hi: int = 8192
 
-    def sample(self, rng) -> int:
+    def sample(self, rng: np.random.Generator) -> int:
         import math
 
         mu = math.log(max(self.mean, 1))

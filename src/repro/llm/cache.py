@@ -18,14 +18,22 @@ take a ``CachedLLM`` unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
 from ..utils import stable_hash
-from .model import LLMResponse, SimLLM
+from .cost import Usage, UsageLedger
+from .embedding import EmbeddingModel
+from .hub import ModelSpec
+from .knowledge import KnowledgeBase
+from .model import LLMResponse, SimLLM, SkillFn
 from .protocol import parse_prompt
+from .tokenizer import Tokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.world import Fact
 
 
 @dataclass
@@ -98,33 +106,33 @@ class CachedLLM:
 
     # ---------------------------------------------------------- delegation
     @property
-    def embedder(self):
+    def embedder(self) -> EmbeddingModel:
         return self.llm.embedder
 
     @property
-    def knowledge(self):
+    def knowledge(self) -> KnowledgeBase:
         return self.llm.knowledge
 
     @property
-    def usage(self):
+    def usage(self) -> Usage:
         return self.llm.usage
 
     @property
-    def ledger(self):
+    def ledger(self) -> UsageLedger:
         return self.llm.ledger
 
     @property
-    def spec(self):
+    def spec(self) -> ModelSpec:
         return self.llm.spec
 
     @property
-    def tokenizer(self):
+    def tokenizer(self) -> Tokenizer:
         return self.llm.tokenizer
 
-    def register_skill(self, task, fn):
+    def register_skill(self, task: str, fn: SkillFn) -> None:
         self.llm.register_skill(task, fn)
 
-    def fine_tune(self, facts):
+    def fine_tune(self, facts: "List[Fact]") -> int:
         self.invalidate()
         return self.llm.fine_tune(facts)
 

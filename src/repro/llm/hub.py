@@ -39,7 +39,7 @@ class ModelSpec:
         if self.context_window < 256:
             raise ConfigError("context_window too small")
 
-    def scaled(self, **overrides) -> "ModelSpec":
+    def scaled(self, **overrides: object) -> "ModelSpec":
         """Copy with overrides (for ablations sweeping accuracy etc.)."""
         return replace(self, **overrides)
 

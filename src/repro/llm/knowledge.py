@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..data.world import Fact, World
+from ..errors import ConfigError
 from ..utils import derive_rng
 
 
@@ -32,7 +33,7 @@ class KnowledgeBase:
     ) -> "KnowledgeBase":
         """Sample ``coverage`` of the world's facts as pretraining knowledge."""
         if not 0.0 <= coverage <= 1.0:
-            raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+            raise ConfigError(f"coverage must be in [0, 1], got {coverage}")
         kb = cls()
         all_facts = world.facts()
         rng = derive_rng(seed, "kb-coverage")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import ConfigError
 from .model import SimLLM
@@ -77,7 +77,7 @@ def chain_of_questions(
     llm: SimLLM,
     question: str,
     *,
-    context_provider=None,
+    context_provider: Optional[Callable[[str], str]] = None,
     max_hops: int = 3,
     tag: str = "chain",
 ) -> ReasoningResult:

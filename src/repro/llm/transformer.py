@@ -260,7 +260,7 @@ class PagedKVCache(KVCache):
         return [self.layer_keys(i) for i in range(self.config_ref.num_layers)]
 
     @keys.setter
-    def keys(self, value) -> None:  # pragma: no cover - interface shim
+    def keys(self, value: List[np.ndarray]) -> None:  # pragma: no cover - interface shim
         raise ConfigError("paged cache keys are read-only views")
 
     @property
@@ -268,7 +268,7 @@ class PagedKVCache(KVCache):
         return [self.layer_values(i) for i in range(self.config_ref.num_layers)]
 
     @values.setter
-    def values(self, value) -> None:  # pragma: no cover - interface shim
+    def values(self, value: List[np.ndarray]) -> None:  # pragma: no cover - interface shim
         raise ConfigError("paged cache values are read-only views")
 
     def _gather(self, pool: np.ndarray, length: int) -> np.ndarray:

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..data.ngram import NGramLM
 from ..data.synth import TrainingDocument
 from ..errors import PipelineError
 from ..llm.tokenizer import default_tokenizer
@@ -120,7 +121,7 @@ class PrepPipeline:
 
 def standard_pipeline(
     *,
-    reference_lm=None,
+    reference_lm: "Optional[NGramLM]" = None,
     max_perplexity: Optional[float] = None,
     dedup: bool = True,
     toxicity: bool = True,

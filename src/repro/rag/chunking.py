@@ -184,7 +184,7 @@ def chunk_corpus(
     *,
     strategy: str = "sentence",
     embedder: Optional[EmbeddingModel] = None,
-    **kwargs,
+    **kwargs: object,
 ) -> List[Chunk]:
     """Chunk a corpus with the named strategy ('fixed'|'sentence'|'semantic')."""
     chunks: List[Chunk] = []

@@ -20,6 +20,7 @@ from ..data.documents import Document
 from ..llm.embedding import EmbeddingModel
 from ..llm.model import SimLLM
 from ..llm.protocol import Prompt
+from ..vector.base import VectorIndex
 from .chunking import Chunk, chunk_corpus
 from .reranker import EmbeddingReranker, LLMReranker
 from .retriever import DenseRetriever, RetrievedChunk, Retriever
@@ -69,7 +70,7 @@ class RAGPipeline:
         chunk_strategy: str = "sentence",
         rerank: Optional[str] = None,
         context_chunks: int = 4,
-        index=None,
+        index: Optional[VectorIndex] = None,
     ) -> "RAGPipeline":
         """Build a dense-retrieval pipeline over ``docs``.
 

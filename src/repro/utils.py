@@ -15,6 +15,8 @@ from typing import Iterable, Iterator, List, Sequence, TypeVar
 
 import numpy as np
 
+from .errors import ConfigError
+
 T = TypeVar("T")
 
 
@@ -24,7 +26,7 @@ def stable_hash(text: str, *, bits: int = 64) -> int:
     Uses blake2b truncated to ``bits`` (must be a multiple of 8, at most 512).
     """
     if bits % 8 or not 8 <= bits <= 512:
-        raise ValueError(f"bits must be a multiple of 8 in [8, 512], got {bits}")
+        raise ConfigError(f"bits must be a multiple of 8 in [8, 512], got {bits}")
     digest = hashlib.blake2b(text.encode("utf-8"), digest_size=bits // 8).digest()
     return int.from_bytes(digest, "big")
 
@@ -54,7 +56,7 @@ def derive_seed(seed: int, *names: object) -> int:
 def batched(items: Sequence[T], batch_size: int) -> Iterator[List[T]]:
     """Yield successive ``batch_size``-sized chunks of ``items``."""
     if batch_size <= 0:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
+        raise ConfigError(f"batch_size must be positive, got {batch_size}")
     for start in range(0, len(items), batch_size):
         yield list(items[start : start + batch_size])
 
@@ -88,25 +90,25 @@ def unpack_floats(data: bytes) -> List[float]:
 def human_bytes(num_bytes: float) -> str:
     """Render a byte count as a human-readable string ('1.5 GiB')."""
     size = float(num_bytes)
-    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
-        if abs(size) < 1024.0 or unit == "PiB":
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(size) < 1024.0:
             return f"{size:.1f} {unit}"
         size /= 1024.0
-    raise AssertionError("unreachable")
+    return f"{size:.1f} PiB"
 
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of positive values; raises on empty or non-positive."""
     if not values:
-        raise ValueError("geometric_mean of empty sequence")
+        raise ConfigError("geometric_mean of empty sequence")
     arr = np.asarray(values, dtype=float)
     if np.any(arr <= 0):
-        raise ValueError("geometric_mean requires positive values")
+        raise ConfigError("geometric_mean requires positive values")
     return float(np.exp(np.mean(np.log(arr))))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of ``values``; raises on empty input."""
     if not values:
-        raise ValueError("percentile of empty sequence")
+        raise ConfigError("percentile of empty sequence")
     return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -7,7 +7,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import DimensionMismatchError, IndexError_
+from ..errors import DimensionMismatchError, VectorIndexError
 from .metrics import normalize_rows, resolve_metric
 
 # Queries processed per matrix-matrix product in batched kernels. Bounds the
@@ -34,7 +34,7 @@ class VectorIndex(abc.ABC):
 
     def __init__(self, dim: int, metric: str = "cosine") -> None:
         if dim <= 0:
-            raise IndexError_(f"dim must be positive, got {dim}")
+            raise VectorIndexError(f"dim must be positive, got {dim}")
         self.dim = dim
         self.metric = metric
         self._score_fn = resolve_metric(metric)
@@ -64,10 +64,10 @@ class VectorIndex(abc.ABC):
         """Insert vectors under the given ids (ids must be new)."""
         vectors = self._prepare(vectors)
         if len(ids) != vectors.shape[0]:
-            raise IndexError_(f"{len(ids)} ids for {vectors.shape[0]} vectors")
+            raise VectorIndexError(f"{len(ids)} ids for {vectors.shape[0]} vectors")
         for vid in ids:
             if vid in self._id_to_row:
-                raise IndexError_(f"duplicate id {vid!r}; use remove() first")
+                raise VectorIndexError(f"duplicate id {vid!r}; use remove() first")
         start = len(self._ids)
         self._ids.extend(ids)
         for offset, vid in enumerate(ids):
@@ -150,7 +150,7 @@ class VectorIndex(abc.ABC):
         """The stored (possibly normalized) vector for ``vid``."""
         row = self._id_to_row.get(vid)
         if row is None:
-            raise IndexError_(f"unknown id {vid!r}")
+            raise VectorIndexError(f"unknown id {vid!r}")
         return self._vectors[row].copy()
 
     # ----------------------------------------------------- batched kernels

@@ -66,7 +66,7 @@ class Collection:
         index_type: str = "flat",
         metric: str = "cosine",
         embedder: Optional[EmbeddingModel] = None,
-        **index_kwargs,
+        **index_kwargs: object,
     ) -> None:
         if index_type not in INDEX_TYPES:
             raise CollectionError(
@@ -234,7 +234,7 @@ class VectorDatabase:
         index_type: str = "flat",
         metric: str = "cosine",
         embedder: Optional[EmbeddingModel] = None,
-        **index_kwargs,
+        **index_kwargs: object,
     ) -> Collection:
         if name in self._collections:
             raise CollectionError(f"collection {name!r} already exists")

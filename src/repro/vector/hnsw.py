@@ -14,7 +14,7 @@ from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import VectorIndexError
 from ..utils import derive_rng
 from .base import VectorIndex
 
@@ -45,7 +45,7 @@ class HNSWIndex(VectorIndex):
     ) -> None:
         super().__init__(dim, metric)
         if m < 2:
-            raise IndexError_(f"m must be >= 2, got {m}")
+            raise VectorIndexError(f"m must be >= 2, got {m}")
         self.m = m
         self.m0 = 2 * m
         self.ef_construction = max(ef_construction, m)

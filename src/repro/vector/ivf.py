@@ -10,7 +10,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import VectorIndexError
 from .base import VectorIndex
 from .kmeans import kmeans
 
@@ -41,7 +41,7 @@ class IVFIndex(VectorIndex):
     ) -> None:
         super().__init__(dim, metric)
         if nlist <= 0 or nprobe <= 0:
-            raise IndexError_("nlist and nprobe must be positive")
+            raise VectorIndexError("nlist and nprobe must be positive")
         self.nlist = nlist
         self.nprobe = min(nprobe, nlist)
         self.train_size = train_size

@@ -30,7 +30,7 @@ def _plus_plus_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.nd
     centroids = np.empty((k, data.shape[1]), dtype=data.dtype)
     first = int(rng.integers(0, n))
     centroids[0] = data[first]
-    closest_sq = np.full(n, np.inf)
+    closest_sq = np.full(n, np.inf, dtype=np.float64)
     for i in range(1, k):
         diff = data - centroids[i - 1]
         dist_sq = np.einsum("ij,ij->i", diff, diff)

@@ -11,7 +11,7 @@ from typing import Dict, List, Set
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import VectorIndexError
 from ..utils import derive_rng
 from .base import VectorIndex
 
@@ -29,10 +29,10 @@ class LSHIndex(VectorIndex):
         seed: int = 0,
     ) -> None:
         if metric != "cosine":
-            raise IndexError_("LSHIndex supports only the cosine metric")
+            raise VectorIndexError("LSHIndex supports only the cosine metric")
         super().__init__(dim, metric)
         if num_tables <= 0 or num_bits <= 0:
-            raise IndexError_("num_tables and num_bits must be positive")
+            raise VectorIndexError("num_tables and num_bits must be positive")
         self.num_tables = num_tables
         self.num_bits = num_bits
         rng = derive_rng(seed, "lsh")

@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import VectorIndexError
 from .base import QUERY_CHUNK, VectorIndex
 from .kmeans import kmeans
 
@@ -33,15 +33,15 @@ class PQIndex(VectorIndex):
     ) -> None:
         super().__init__(dim, metric)
         if dim % num_subspaces:
-            raise IndexError_(f"dim {dim} not divisible by num_subspaces {num_subspaces}")
+            raise VectorIndexError(f"dim {dim} not divisible by num_subspaces {num_subspaces}")
         if not 2 <= bits <= 8:
-            raise IndexError_("bits must be in [2, 8]")
+            raise VectorIndexError("bits must be in [2, 8]")
         self.num_subspaces = num_subspaces
         self.sub_dim = dim // num_subspaces
         self.num_centroids = 1 << bits
         self.train_size = train_size
         if rerank_factor < 1:
-            raise IndexError_("rerank_factor must be >= 1")
+            raise VectorIndexError("rerank_factor must be >= 1")
         self.rerank_factor = rerank_factor
         self.seed = seed
         self._codebooks: Optional[np.ndarray] = None  # (S, K, sub_dim)

@@ -1,0 +1,503 @@
+"""Tests for repro.analysis (repro-lint): rules, suppressions, baseline, CLI.
+
+Each rule gets good/bad fixture snippets written into a synthetic repo tree
+under tmp_path that mirrors the real scoping (src/repro/inference is a hot
+path, src/repro/vector is dtype-scoped, benchmarks/perf is perf-scoped).
+The meta-test at the bottom runs the real CLI over the live repository and
+asserts it passes against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    diff_against_baseline,
+    load_baseline,
+    run_lint,
+    scan_suppressions,
+    write_baseline,
+)
+from repro.analysis.driver import collect_exports, collect_taxonomy
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TAXONOMY_FIXTURE = '''
+class ReproError(Exception):
+    pass
+
+
+class ConfigError(ReproError):
+    pass
+
+
+class VectorIndexError(ReproError):
+    pass
+
+
+LegacyAlias = VectorIndexError
+'''
+
+
+@pytest.fixture()
+def fixture_repo(tmp_path):
+    """A synthetic repo tree matching the default LintConfig scopes."""
+
+    def write(relpath: str, source: str) -> Path:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    write("src/repro/errors.py", TAXONOMY_FIXTURE)
+    return tmp_path, write
+
+
+def lint(repo_root, *paths, select=None):
+    config = LintConfig(enabled=frozenset(select) if select else LintConfig().enabled)
+    return run_lint(list(paths) or ["src", "benchmarks", "tests"],
+                    config=config, repo_root=repo_root)
+
+
+def codes_at(result, code):
+    return [v for v in result.violations if v.code == code]
+
+
+# --------------------------------------------------------------------- R001
+
+
+class TestDeterminismRule:
+    def test_flags_wall_clock_and_global_rng_in_hot_path(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sim.py", (
+            "import time\n"
+            "import random\n"
+            "import numpy as np\n"
+            "def step():\n"
+            "    t = time.time()\n"
+            "    random.shuffle([1, 2])\n"
+            "    x = np.random.rand(3)\n"
+            "    rng = np.random.default_rng()\n"
+            "    return t, x, rng\n"
+        ))
+        found = codes_at(lint(root, "src"), "R001")
+        messages = " | ".join(v.message for v in found)
+        assert len(found) == 4
+        assert "time.time" in messages
+        assert "random.shuffle" in messages
+        assert "numpy.random.rand" in messages
+        assert "without a seed" in messages
+
+    def test_seeded_generator_and_aliased_import_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/ok.py", (
+            "import numpy as np\n"
+            "def step(rng: np.random.Generator, seed: int):\n"
+            "    local = np.random.default_rng(seed)\n"
+            "    return rng.random() + local.random()\n"
+        ))
+        assert codes_at(lint(root, "src"), "R001") == []
+
+    def test_sees_through_import_aliases(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/vector/aliased.py", (
+            "from time import time as now\n"
+            "def stamp():\n"
+            "    return now()\n"
+        ))
+        found = codes_at(lint(root, "src"), "R001")
+        assert len(found) == 1 and "time.time" in found[0].message
+
+    def test_outside_hot_path_not_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/prep/timing.py", (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ))
+        assert codes_at(lint(root, "src"), "R001") == []
+
+
+# --------------------------------------------------------------------- R002
+
+
+class TestExceptionTaxonomyRule:
+    def test_flags_non_taxonomy_raise(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f():\n"
+            "    raise ValueError('nope')\n"
+        ))
+        found = codes_at(lint(root, "src"), "R002")
+        assert len(found) == 1 and "ValueError" in found[0].message
+
+    def test_taxonomy_subclass_alias_and_reraise_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .errors import ConfigError, LegacyAlias\n"
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ConfigError('bad')\n"
+            "    if x == 0:\n"
+            "        raise LegacyAlias('legacy name still taxonomy')\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except ZeroDivisionError:\n"
+            "        raise\n"
+        ))
+        assert codes_at(lint(root, "src"), "R002") == []
+
+    def test_not_implemented_and_variable_reraise_allowed(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def abstract():\n"
+            "    raise NotImplementedError\n"
+            "def rethrow(exc):\n"
+            "    raise exc\n"
+        ))
+        assert codes_at(lint(root, "src"), "R002") == []
+
+    def test_flags_bare_and_swallowing_broad_except(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+            "def h():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ))
+        found = codes_at(lint(root, "src"), "R002")
+        assert len(found) == 2
+        assert any("bare" in v.message for v in found)
+        assert any("re-raise" in v.message for v in found)
+
+    def test_broad_except_with_reraise_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .errors import ConfigError\n"
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception as exc:\n"
+            "        raise ConfigError('wrapped') from exc\n"
+        ))
+        assert codes_at(lint(root, "src"), "R002") == []
+
+    def test_out_of_scope_paths_ignored(self, fixture_repo):
+        root, write = fixture_repo
+        write("benchmarks/bench_mod.py", "def f():\n    raise ValueError('fine here')\n")
+        assert codes_at(lint(root, "benchmarks"), "R002") == []
+
+
+# --------------------------------------------------------------------- R003
+
+
+class TestDtypeDisciplineRule:
+    def test_flags_missing_dtype_in_kernel_scope(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/vector/kern.py", (
+            "import numpy as np\n"
+            "def alloc(n):\n"
+            "    return np.zeros(n), np.empty(n), np.full(n, 0.0)\n"
+        ))
+        found = codes_at(lint(root, "src"), "R003")
+        assert len(found) == 3
+
+    def test_explicit_or_positional_dtype_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/vector/kern.py", (
+            "import numpy as np\n"
+            "def alloc(n, xs):\n"
+            "    a = np.zeros(n, dtype=np.float64)\n"
+            "    b = np.array(xs, np.float32)\n"
+            "    c = np.full(n, 0.0, np.float64)\n"
+            "    return a, b, c\n"
+        ))
+        assert codes_at(lint(root, "src"), "R003") == []
+
+    def test_kvcache_file_is_in_scope_but_other_inference_not(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/kvcache.py", (
+            "import numpy as np\n"
+            "def alloc(n):\n"
+            "    return np.zeros(n)\n"
+        ))
+        write("src/repro/inference/other.py", (
+            "import numpy as np\n"
+            "def alloc(n):\n"
+            "    return np.zeros(n)\n"
+        ))
+        found = codes_at(lint(root, "src"), "R003")
+        assert len(found) == 1 and found[0].path.endswith("kvcache.py")
+
+
+# --------------------------------------------------------------------- R004
+
+
+class TestMutableDefaultRule:
+    def test_flags_literal_and_constructor_defaults(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f(xs=[], *, mapping=dict()):\n"
+            "    return xs, mapping\n"
+        ))
+        assert len(codes_at(lint(root, "src"), "R004")) == 2
+
+    def test_none_and_immutable_defaults_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f(xs=None, pair=(1, 2), name='x'):\n"
+            "    return xs, pair, name\n"
+        ))
+        assert codes_at(lint(root, "src"), "R004") == []
+
+    def test_applies_outside_src_too(self, fixture_repo):
+        root, write = fixture_repo
+        write("tests/helper.py", "def f(acc={}):\n    return acc\n")
+        assert len(codes_at(lint(root, "tests"), "R004")) == 1
+
+
+# --------------------------------------------------------------------- R005
+
+
+class TestPublicApiAnnotationRule:
+    def test_flags_unannotated_reexported_function(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/pkg/__init__.py", "from .mod import exported\n")
+        write("src/repro/pkg/mod.py", (
+            "def exported(x):\n"
+            "    return x\n"
+            "def internal(y):\n"
+            "    return y\n"
+        ))
+        found = codes_at(lint(root, "src"), "R005")
+        assert len(found) == 2  # missing param + missing return
+        assert all("exported" in v.message for v in found)
+
+    def test_chained_reexport_through_package_init(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/__init__.py", "from .pkg import exported\n")
+        write("src/repro/pkg/__init__.py", "from .mod import exported\n")
+        write("src/repro/pkg/mod.py", "def exported(x):\n    return x\n")
+        exports = collect_exports(root, LintConfig())
+        assert exports.get("src/repro/pkg/mod.py") == frozenset({"exported"})
+
+    def test_annotated_function_and_class_ok(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/pkg/__init__.py", "from .mod import Exported, exported\n")
+        write("src/repro/pkg/mod.py", (
+            "class Exported:\n"
+            "    def __init__(self, x: int) -> None:\n"
+            "        self.x = x\n"
+            "    def get(self) -> int:\n"
+            "        return self.x\n"
+            "    def _private(self, y):\n"
+            "        return y\n"
+            "def exported(x: int, *, flag: bool = False) -> int:\n"
+            "    return x\n"
+        ))
+        assert codes_at(lint(root, "src"), "R005") == []
+
+    def test_unexported_module_not_checked(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/pkg/__init__.py", "")
+        write("src/repro/pkg/mod.py", "def loose(x):\n    return x\n")
+        assert codes_at(lint(root, "src"), "R005") == []
+
+
+# --------------------------------------------------------------------- R006
+
+
+class TestPerfMarkerRule:
+    def test_module_pytestmark_covers_all_tests(self, fixture_repo):
+        root, write = fixture_repo
+        write("benchmarks/perf/test_fast.py", (
+            "import pytest\n"
+            "pytestmark = pytest.mark.perf\n"
+            "def test_speed():\n"
+            "    assert True\n"
+        ))
+        assert codes_at(lint(root, "benchmarks"), "R006") == []
+
+    def test_unmarked_test_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("benchmarks/perf/test_slow.py", (
+            "import pytest\n"
+            "@pytest.mark.perf\n"
+            "def test_marked():\n"
+            "    assert True\n"
+            "def test_unmarked():\n"
+            "    assert True\n"
+            "class TestGroup:\n"
+            "    def test_inner(self):\n"
+            "        assert True\n"
+        ))
+        found = codes_at(lint(root, "benchmarks"), "R006")
+        assert len(found) == 2
+        assert any("test_unmarked" in v.message for v in found)
+        assert any("TestGroup" in v.message for v in found)
+
+    def test_non_test_helpers_ignored(self, fixture_repo):
+        root, write = fixture_repo
+        write("benchmarks/perf/harness.py", "def run_case():\n    return 1\n")
+        write("benchmarks/perf/test_ok.py", (
+            "import pytest\n"
+            "pytestmark = [pytest.mark.perf]\n"
+            "def test_one():\n"
+            "    assert True\n"
+        ))
+        assert codes_at(lint(root, "benchmarks"), "R006") == []
+
+
+# -------------------------------------------------------------- suppressions
+
+
+class TestSuppressions:
+    def test_inline_suppression_with_justification(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f():\n"
+            "    raise ValueError('x')  # repro-lint: disable=R002 — external API contract\n"
+        ))
+        result = lint(root, "src")
+        assert codes_at(result, "R002") == []
+        assert codes_at(result, "R000") == []
+
+    def test_comment_above_suppresses_next_code_line(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f():\n"
+            "    # repro-lint: disable=R002 — wrapping happens one level up\n"
+            "    raise ValueError('x')\n"
+        ))
+        assert codes_at(lint(root, "src"), "R002") == []
+
+    def test_suppression_without_justification_reports_r000(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "def f():\n"
+            "    raise ValueError('x')  # repro-lint: disable=R002\n"
+        ))
+        result = lint(root, "src")
+        assert len(codes_at(result, "R000")) == 1
+        # An unjustified suppression does not silence the finding.
+        assert len(codes_at(result, "R002")) == 1
+
+    def test_suppression_only_covers_named_codes(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/vector/kern.py", (
+            "import numpy as np\n"
+            "def f(xs=[]):  # repro-lint: disable=R004 — fixture exercising scoping\n"
+            "    return np.zeros(3)\n"
+        ))
+        result = lint(root, "src")
+        assert codes_at(result, "R004") == []
+        assert len(codes_at(result, "R003")) == 1
+
+    def test_malformed_directive_reported(self):
+        index = scan_suppressions("x.py", "pass  # repro-lint: disable-next-line\n")
+        assert len(index.problems) == 1
+        assert "malformed" in index.problems[0].message
+
+
+# ------------------------------------------------------------------ baseline
+
+
+class TestBaseline:
+    def test_roundtrip_and_diff(self, fixture_repo, tmp_path):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        result = lint(root, "src")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result.violations)
+        baseline = load_baseline(baseline_path)
+        diff = diff_against_baseline(lint(root, "src").violations, baseline)
+        assert diff.ok and not diff.stale and len(diff.baselined) == len(result.violations)
+
+    def test_new_identical_violation_beyond_count_fails(self, fixture_repo, tmp_path):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint(root, "src").violations)
+        # Same fingerprint, second occurrence: only one is baselined.
+        write("src/repro/mod.py", (
+            "def f():\n    raise ValueError('x')\n"
+            "def g():\n    raise ValueError('x')\n"
+        ))
+        diff = diff_against_baseline(
+            lint(root, "src").violations, load_baseline(baseline_path)
+        )
+        assert len(diff.new) == 1 and len(diff.baselined) == 1
+
+    def test_fixed_debt_reported_stale(self, fixture_repo, tmp_path):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint(root, "src").violations)
+        write("src/repro/mod.py", "def f():\n    return 0\n")
+        diff = diff_against_baseline(
+            lint(root, "src").violations, load_baseline(baseline_path)
+        )
+        assert diff.ok and sum(diff.stale.values()) == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+
+# ------------------------------------------------------------------ taxonomy
+
+
+class TestTaxonomyCollection:
+    def test_transitive_subclasses_and_aliases(self, fixture_repo):
+        root, _ = fixture_repo
+        taxonomy = collect_taxonomy(root, LintConfig())
+        assert {"ReproError", "ConfigError", "VectorIndexError", "LegacyAlias"} <= taxonomy
+
+    def test_live_taxonomy_includes_vector_index_error(self):
+        taxonomy = collect_taxonomy(REPO_ROOT, LintConfig())
+        assert "VectorIndexError" in taxonomy
+        assert "SchedulerError" in taxonomy
+
+
+# ------------------------------------------------------------- live meta-test
+
+
+class TestLiveRepository:
+    def test_lint_cli_passes_against_committed_baseline(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint.py"), "--quiet"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_seeded_violation_is_caught(self, tmp_path):
+        """A determinism regression in a hot path must fail the gate."""
+        result = run_lint(["src"], config=LintConfig(), repo_root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / "scripts" / "lint_baseline.json")
+        assert diff_against_baseline(result.violations, baseline).ok
+        # Simulate the regression in a scratch copy of the hot-path scope.
+        scratch = tmp_path / "src" / "repro" / "inference"
+        scratch.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "errors.py").write_text(TAXONOMY_FIXTURE)
+        (scratch / "scheduler.py").write_text(
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        seeded = run_lint(["src"], config=LintConfig(), repo_root=tmp_path)
+        diff = diff_against_baseline(seeded.violations, baseline)
+        assert not diff.ok
+        assert any(v.code == "R001" for v in diff.new)

@@ -162,7 +162,7 @@ class TestKnowledge:
         assert len(none) == 0
 
     def test_coverage_rejects_out_of_range(self, world):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             KnowledgeBase.from_world(world, coverage=1.5)
 
     def test_lookup_case_insensitive(self, world):

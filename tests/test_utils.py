@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import ConfigError
 from repro.utils import (
     batched,
     derive_rng,
@@ -32,9 +33,9 @@ class TestStableHash:
         assert 0 <= stable_hash("x", bits=16) < 2**16
 
     def test_rejects_bad_bits(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             stable_hash("x", bits=12)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             stable_hash("x", bits=1024)
 
     @given(st.text())
@@ -69,7 +70,7 @@ class TestBatched:
         assert list(batched([], 3)) == []
 
     def test_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             list(batched([1], 0))
 
     @given(st.lists(st.integers()), st.integers(min_value=1, max_value=20))
@@ -117,11 +118,11 @@ class TestGeometricMean:
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
 
     def test_rejects_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             geometric_mean([])
 
     def test_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             geometric_mean([1.0, 0.0])
 
 
@@ -130,5 +131,5 @@ class TestPercentile:
         assert percentile([1, 2, 3], 50) == 2
 
     def test_rejects_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             percentile([], 50)

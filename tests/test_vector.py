@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CollectionError, DimensionMismatchError, IndexError_
+from repro.errors import CollectionError, DimensionMismatchError, VectorIndexError
 from repro.llm.embedding import EmbeddingModel
 from repro.vector import (
     Collection,
@@ -77,7 +77,7 @@ class TestFlatIndex:
     def test_duplicate_id_rejected(self, data):
         index = FlatIndex(data.shape[1])
         index.add(["a"], data[:1])
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             index.add(["a"], data[1:2])
 
     def test_dim_mismatch(self):
@@ -89,14 +89,14 @@ class TestFlatIndex:
 
     def test_id_count_mismatch(self, data):
         index = FlatIndex(data.shape[1])
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             index.add(["a", "b"], data[:1])
 
     def test_vector_retrieval_normalized(self, data):
         index = FlatIndex(data.shape[1])
         index.add(["a"], data[:1])
         assert np.isclose(np.linalg.norm(index.vector("a")), 1.0, atol=1e-5)
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             index.vector("missing")
 
 
@@ -154,11 +154,11 @@ class TestIndexSpecifics:
         assert 1 <= stats["mean_degree_l0"] <= 16
 
     def test_hnsw_rejects_small_m(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             HNSWIndex(8, m=1)
 
     def test_lsh_requires_cosine(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             LSHIndex(8, metric="l2")
 
     def test_lsh_bucket_stats(self, data):
@@ -172,7 +172,7 @@ class TestIndexSpecifics:
         assert index.compression_ratio() == pytest.approx(32.0)
 
     def test_pq_rejects_indivisible_dim(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(VectorIndexError):
             PQIndex(30, num_subspaces=8)
 
 
@@ -309,3 +309,20 @@ def test_flat_search_property(rows):
     index.add([f"v{i}" for i in range(len(data))], data)
     for i in range(len(data)):
         assert index.search(data[i], 1)[0].id == f"v{i}"
+
+
+class TestDeprecatedIndexErrorAlias:
+    def test_old_name_still_importable_and_warns(self):
+        import importlib
+
+        errors = importlib.import_module("repro.errors")
+        with pytest.warns(DeprecationWarning, match="VectorIndexError"):
+            legacy = errors.IndexError_
+        assert legacy is VectorIndexError
+
+    def test_unknown_attribute_still_raises(self):
+        import importlib
+
+        errors = importlib.import_module("repro.errors")
+        with pytest.raises(AttributeError):
+            errors.NoSuchError_
