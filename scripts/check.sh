@@ -42,6 +42,12 @@ python scripts/lint.py || failures=$((failures + 1))
 step "tier-1 tests"
 python -m pytest -x -q || failures=$((failures + 1))
 
+# The E24 chaos benchmark is the end-to-end proof that injected faults are
+# recovered from (100% completion, bit-exact restores).  It uses fast
+# configs and carries no `perf` marker, so it is cheap enough to gate on.
+step "chaos smoke (benchmarks/test_e24_fault_recovery.py)"
+python -m pytest benchmarks/test_e24_fault_recovery.py -x -q || failures=$((failures + 1))
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAIL ($failures step(s) failed)"

@@ -21,6 +21,7 @@ Subpackages
 ``repro.prep``         Data4LLM preparation: discovery/selection/cleaning/...
 ``repro.training``     distributed-training simulation + checkpointing
 ``repro.inference``    serving simulation: batching, paged KV, disaggregation
+``repro.faults``       deterministic fault injection & recovery
 ``repro.flywheel``     the closed data flywheel loop
 """
 

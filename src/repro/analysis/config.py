@@ -29,6 +29,7 @@ class LintConfig:
     # injected, seeded Generator (see repro.utils.derive_rng); wall-clock and
     # global/unseeded random sources are banned under these prefixes.
     hot_path_prefixes: Tuple[str, ...] = (
+        "src/repro/faults",
         "src/repro/inference",
         "src/repro/training",
         "src/repro/vector",
@@ -38,7 +39,8 @@ class LintConfig:
     # collects every class transitively derived from ``taxonomy_root``.
     taxonomy_module: str = "src/repro/errors.py"
     taxonomy_root: str = "ReproError"
-    # Raises scoped to library code only.
+    # Raises scoped to library code only (src/repro covers every subpackage,
+    # including the fault-injection framework in src/repro/faults).
     taxonomy_prefixes: Tuple[str, ...] = ("src/repro",)
     # Abstract interface methods conventionally raise NotImplementedError.
     allowed_raises: FrozenSet[str] = field(default_factory=lambda: frozenset({"NotImplementedError"}))

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
+from ..faults import KV_DEGRADED, KV_TRANSFER_FAIL, FaultPlan, RetryPolicy
 from .metrics import ServingReport, summarize
 from .request import SLO, Request
 from .scheduler import ContinuousBatchScheduler, IterationCost, ServingEngine
@@ -35,9 +36,23 @@ class TransferModel:
     bandwidth: float = 50e9  # NVLink/IB bytes/s
     overlap: float = 0.8
 
+    def __post_init__(self) -> None:
+        # overlap > 1 yields *negative* visible delay and non-positive
+        # bandwidth/bytes_per_token yields infinite or negative wire time —
+        # all of which silently corrupt E4 goodput downstream.
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ConfigError("overlap must be in [0, 1]")
+        if self.bandwidth <= 0.0:
+            raise ConfigError("bandwidth must be positive")
+        if self.bytes_per_token <= 0.0:
+            raise ConfigError("bytes_per_token must be positive")
+
+    def raw_delay(self, prompt_tokens: int) -> float:
+        """Wire time of the full KV payload, before any compute overlap."""
+        return prompt_tokens * self.bytes_per_token / self.bandwidth
+
     def visible_delay(self, prompt_tokens: int) -> float:
-        raw = prompt_tokens * self.bytes_per_token / self.bandwidth
-        return raw * (1.0 - self.overlap)
+        return self.raw_delay(prompt_tokens) * (1.0 - self.overlap)
 
 
 def _split_round_robin(requests: Sequence[Request], n: int) -> List[List[Request]]:
@@ -77,6 +92,8 @@ def simulate_disaggregated(
     transfer: Optional[TransferModel] = None,
     slo: Optional[SLO] = None,
     max_batch: int = 64,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ServingReport:
     """Two-stage pipeline: prefill pool -> KV transfer -> decode pool.
 
@@ -84,10 +101,20 @@ def simulate_disaggregated(
     token, produced by prefill). Stage two replays each request arriving at
     its first-token time plus transfer delay, decoding the remaining
     tokens with no prefill work (prompt re-entered as already-cached).
+
+    ``faults`` injects interconnect trouble: a KV ship that starts inside a
+    :data:`~repro.faults.KV_TRANSFER_FAIL` window pays the full wire time
+    before the failure is detected, backs off per ``retry``, and then falls
+    back to **re-prefilling the prompt on the decode pool** (the KV is
+    gone) instead of silently completing; a ship inside a
+    :data:`~repro.faults.KV_DEGRADED` window sees its wire time stretched
+    by ``1 / severity``.  An empty plan reproduces the fault-free
+    trajectory bit-exactly.
     """
     if prefill_gpus <= 0 or decode_gpus <= 0:
         raise ConfigError("gpu counts must be positive")
     transfer = transfer or TransferModel()
+    retry = retry or RetryPolicy()
     originals = sorted(copy.deepcopy(list(requests)), key=lambda r: r.arrival_s)
 
     # ---- stage 1: prefill pool
@@ -110,12 +137,29 @@ def simulate_disaggregated(
         ready = first_token_at[r.request_id]
         if ready is None:
             continue
-        ready += transfer.visible_delay(r.prompt_tokens)
+        ship_s = ready
+        failed = faults.covering(KV_TRANSFER_FAIL, ship_s) if faults is not None else None
+        if failed is not None and (failed.target in (None, r.request_id)):
+            # The ship was attempted (full wire time burned before the
+            # failure surfaces), then backed off; the decode pool rebuilds
+            # the KV by re-running the whole prefill locally.
+            r.retries += 1
+            ready = ship_s + transfer.raw_delay(r.prompt_tokens) + retry.delay_s(r.retries)
+            prompt_for_decode = r.prompt_tokens
+        else:
+            delay = transfer.visible_delay(r.prompt_tokens)
+            degraded = (
+                faults.covering(KV_DEGRADED, ship_s) if faults is not None else None
+            )
+            if degraded is not None:
+                delay /= degraded.severity
+            ready = ship_s + delay
+            prompt_for_decode = 1  # KV arrived; no prefill work on this pool
         decode_stubs.append(
             Request(
                 request_id=r.request_id,
                 arrival_s=ready,
-                prompt_tokens=1,  # KV arrived; no prefill work on this pool
+                prompt_tokens=prompt_for_decode,
                 output_tokens=max(r.output_tokens - 1, 1),
             )
         )

@@ -27,6 +27,8 @@ class ServingReport:
     goodput_rps: float
     mean_preemptions: float = 0.0
     prefix_hit_rate: float = 0.0
+    rejected: int = 0
+    mean_retries: float = 0.0
 
     def row(self) -> Dict[str, float]:
         """Flat dict for table rendering in benchmarks."""
@@ -47,6 +49,7 @@ def summarize(
 ) -> ServingReport:
     """Build a :class:`ServingReport` from finished request timelines."""
     completed = [r for r in requests if r.done]
+    rejected = sum(1 for r in requests if r.rejected)
     if not completed:
         return ServingReport(
             requests=len(requests), completed=0, makespan_s=0.0,
@@ -54,6 +57,7 @@ def summarize(
             ttft_p50=float("inf"), ttft_p99=float("inf"),
             tbt_p50=float("inf"), tbt_p99=float("inf"),
             max_tbt_p99=float("inf"), slo_attainment=0.0, goodput_rps=0.0,
+            rejected=rejected,
         )
     slo = slo or SLO()
     start = min(r.arrival_s for r in completed)
@@ -79,4 +83,6 @@ def summarize(
         goodput_rps=attained / makespan,
         mean_preemptions=sum(r.preemptions for r in completed) / len(completed),
         prefix_hit_rate=sum(1 for r in completed if r.prefix_hit) / len(completed),
+        rejected=rejected,
+        mean_retries=sum(r.retries for r in completed) / len(completed),
     )

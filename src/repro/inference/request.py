@@ -35,6 +35,11 @@ class Request:
     token_times: List[float] = field(default_factory=list)
     preemptions: int = 0
     prefix_hit: bool = False
+    # Fault-recovery accounting: ``retries`` counts full restarts forced by
+    # injected faults (lane crash, failed KV ship); ``rejected`` marks a
+    # request shed by SLO-aware admission control instead of served.
+    retries: int = 0
+    rejected: bool = False
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:

@@ -33,8 +33,9 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CacheError, SchedulerError
+from ..faults import GPU_CRASH, FaultEvent, FaultInjector, FaultPlan, RetryPolicy
 from .kvcache import PagedAllocator, ReservedAllocator
-from .request import Request
+from .request import SLO, Request
 
 
 @dataclass(frozen=True)
@@ -221,7 +222,19 @@ class StaticBatchScheduler(SchedulerPolicy):
 
 
 class ServingEngine:
-    """Discrete-event loop: admission, iteration execution, token accounting."""
+    """Discrete-event loop: admission, iteration execution, token accounting.
+
+    Fault tolerance: pass ``faults`` to inject :data:`~repro.faults.GPU_CRASH`
+    events.  A crash tears down every in-flight sequence — KV freed, generation
+    state lost — and re-queues the requests with capped exponential backoff
+    (``retry``), counting each restart in ``Request.retries`` / the engine's
+    ``retries`` total.  ``shed_slo`` additionally enables SLO-aware admission
+    control: a request whose queueing delay has already blown the TTFT budget
+    is rejected instead of served (DistServe-style goodput protection when the
+    surviving capacity saturates).  With ``faults=None`` *or* an empty plan,
+    every fault branch is dead and trajectories stay bit-identical to the
+    fault-free engine (guarded by ``tests/test_scheduler_golden.py``).
+    """
 
     def __init__(
         self,
@@ -231,16 +244,32 @@ class ServingEngine:
         cost: Optional[IterationCost] = None,
         max_running: int = 256,
         keep_prefix_on_release: bool = False,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        shed_slo: Optional[SLO] = None,
     ) -> None:
         self.scheduler = scheduler
         self.allocator = allocator
         self.cost = cost or IterationCost()
         self.max_running = max_running
         self.keep_prefix_on_release = keep_prefix_on_release
+        self.retry = retry or RetryPolicy()
+        self.shed_slo = shed_slo
         self.running: Dict[str, _Running] = {}
         self.now = 0.0
         self.iterations = 0
         self.busy_s = 0.0
+        self.retries = 0
+        self.rejected = 0
+        self.downtime_s = 0.0
+        self.fault_log: List[FaultEvent] = []
+        self._injector = (
+            FaultInjector(faults, kinds=(GPU_CRASH,)) if faults is not None else None
+        )
+        # (ready_s, seqno, request) min-heap of crash-evicted requests waiting
+        # out their retry backoff before full re-admission.
+        self._retry_queue: List[Tuple[float, int, Request]] = []
+        self._retry_seq = 0
         self._preempted: List[_Running] = []
         # Incrementally maintained views of ``running``, so policies plan an
         # iteration without refiltering/re-sorting the whole running set.
@@ -289,6 +318,77 @@ class ServingEngine:
                 if not self._preempt_youngest():
                     raise
 
+    # ------------------------------------------------------- fault recovery
+    def _deliver_faults(self) -> None:
+        """Absorb every crash whose timestamp the clock has passed."""
+        assert self._injector is not None
+        for event in self._injector.due(self.now):
+            self._absorb_crash(event)
+
+    def _absorb_crash(self, event: FaultEvent) -> None:
+        """A lane crash: all in-flight work loses its KV and re-queues.
+
+        Sequences that already finished keep their timelines; everything
+        still running (or waiting preempted) restarts from scratch after
+        the outage window plus its per-request retry backoff.  Requests
+        that have exhausted the retry budget are shed instead.
+        """
+        self.fault_log.append(event)
+        victims = list(self.running.values()) + self._preempted
+        for request_id in list(self.running):
+            if self.allocator is not None:
+                self.allocator.release(request_id)
+        self.running.clear()
+        self._prefilling.clear()
+        self._decoding.clear()
+        self._preempted = []
+        for seq in victims:
+            request = seq.request
+            request.retries += 1
+            self.retries += 1
+            # Generation state is gone: the retry re-prefills and re-decodes.
+            request.admitted_s = None
+            request.first_token_s = None
+            request.token_times = []
+            request.prefix_hit = False
+            if self.retry.exhausted(request.retries):
+                request.rejected = True
+                self.rejected += 1
+                continue
+            ready_s = event.end_s + self.retry.delay_s(request.retries)
+            heapq.heappush(self._retry_queue, (ready_s, self._retry_seq, request))
+            self._retry_seq += 1
+        if event.duration_s > 0.0:
+            self.downtime_s += event.duration_s
+            self.now = max(self.now, event.end_s)
+
+    def _admit_retries(self, cap: int) -> None:
+        """Re-admit crash-evicted requests whose backoff has elapsed."""
+        while self._retry_queue and self._retry_queue[0][0] <= self.now:
+            if len(self.running) >= cap:
+                break
+            _, _, request = self._retry_queue[0]
+            if self.shed_slo is not None and (
+                self.now - request.arrival_s > self.shed_slo.ttft_s
+            ):
+                heapq.heappop(self._retry_queue)
+                request.rejected = True
+                self.rejected += 1
+                continue
+            if self.allocator is not None:
+                if not self.allocator.can_admit(
+                    request.request_id, request.prompt_tokens
+                ):
+                    break
+                self.allocator.admit(request.request_id, request.prompt_tokens)
+            heapq.heappop(self._retry_queue)
+            request.admitted_s = self.now
+            # The crash wiped any shared prefix blocks this lane held, so the
+            # retry re-prefills the full prompt.
+            self._insert_running(
+                _Running(request=request, prefill_remaining=request.prompt_tokens)
+            )
+
     # ------------------------------------------------------------ admission
     def _try_admit(self, queue: Deque[Request]) -> None:
         if not self.scheduler.may_admit(self):
@@ -311,7 +411,18 @@ class ServingEngine:
             else:
                 still_waiting.append(seq)
         self._preempted = still_waiting
+        if self._retry_queue:
+            self._admit_retries(cap)
         while queue and queue[0].arrival_s <= self.now:
+            if self.shed_slo is not None and (
+                self.now - queue[0].arrival_s > self.shed_slo.ttft_s
+            ):
+                # Already past its TTFT budget in the queue: serving it can
+                # only waste surviving capacity, so shed it.
+                request = queue.popleft()
+                request.rejected = True
+                self.rejected += 1
+                continue
             if len(self.running) >= cap:
                 break
             request = queue[0]
@@ -355,13 +466,26 @@ class ServingEngine:
         pending: Deque[Request] = deque(sorted(requests, key=lambda r: r.arrival_s))
         total = len(pending)
         completed = 0
-        while completed < total:
+        rejected_start = self.rejected
+        while completed + (self.rejected - rejected_start) < total:
+            if self._injector is not None:
+                self._deliver_faults()
             self._try_admit(pending)
             if not self.running:
-                if not pending and not self._preempted:
+                if not pending and not self._preempted and not self._retry_queue:
                     break
-                if pending:
-                    self.now = max(self.now, pending[0].arrival_s)
+                if pending or self._retry_queue:
+                    next_times = []
+                    if pending:
+                        next_times.append(pending[0].arrival_s)
+                    if self._retry_queue:
+                        next_times.append(self._retry_queue[0][0])
+                    target = min(next_times)
+                    if not pending and target <= self.now:
+                        raise SchedulerError(
+                            "retried sequences can never be re-admitted (KV too small)"
+                        )
+                    self.now = max(self.now, target)
                     continue
                 raise SchedulerError(
                     "preempted sequences can never be re-admitted (KV too small)"

@@ -64,6 +64,11 @@ class _Entry:
     prompt_text: str
     input_vector: np.ndarray
     response: LLMResponse
+    # Generation parameters the response was produced under: a semantic hit
+    # is only valid when the caller asked for the same ones (a response
+    # generated with a larger max_tokens may exceed the caller's cap).
+    max_tokens: int = 256
+    temperature: float = 0.0
 
 
 class CachedLLM:
@@ -155,7 +160,9 @@ class CachedLLM:
         parsed = parse_prompt(prompt)
         cacheable = parsed.task in self.cacheable_tasks and temperature == 0.0
         if cacheable and self.semantic_threshold is not None:
-            hit = self._semantic_lookup(parsed.task, parsed.input, parsed.raw)
+            hit = self._semantic_lookup(
+                parsed.task, parsed.input, max_tokens=max_tokens, temperature=temperature
+            )
             if hit is not None:
                 self._credit(hit)
                 self.stats.semantic_hits += 1
@@ -168,14 +175,20 @@ class CachedLLM:
             self._exact[key] = response
             vector = self.llm.embedder.embed(parsed.input)
             self._by_task.setdefault(parsed.task, []).append(
-                _Entry(prompt_text=prompt, input_vector=vector, response=response)
+                _Entry(
+                    prompt_text=prompt,
+                    input_vector=vector,
+                    response=response,
+                    max_tokens=max_tokens,
+                    temperature=temperature,
+                )
             )
             self._insert_order.append((parsed.task, key))
             self._evict_if_needed()
         return response
 
     def _semantic_lookup(
-        self, task: str, input_text: str, raw_prompt: str
+        self, task: str, input_text: str, *, max_tokens: int, temperature: float
     ) -> Optional[LLMResponse]:
         entries = self._by_task.get(task)
         if not entries:
@@ -184,6 +197,8 @@ class CachedLLM:
         best_score = -1.0
         best: Optional[_Entry] = None
         for entry in entries:
+            if entry.max_tokens != max_tokens or entry.temperature != temperature:
+                continue  # generated under different parameters than requested
             score = float(np.dot(query, entry.input_vector))
             if score > best_score:
                 best_score, best = score, entry

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import ConfigError
+from ..faults import RANK_DEATH, FaultPlan
 from .checkpoint.engine import CheckpointEngine
 from .checkpoint.formats import State, make_state
 from .cluster import ClusterSpec, FailureModel
@@ -74,12 +75,17 @@ class TrainingRun:
         data_quality: float = 1.0,
         state_tensors: int = 4,
         seed: int = 0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if checkpoint_every_steps <= 0:
             raise ConfigError("checkpoint_every_steps must be positive")
         self.spec = spec
         self.config = config
         self.cluster = cluster
+        # ``faults`` replaces the cluster's closed-form MTBF process with an
+        # explicit schedule of RANK_DEATH events (seconds); an empty plan
+        # means a failure-free run.  ``None`` keeps the legacy FailureModel.
+        self.faults = faults
         self.engine = checkpoint_engine or CheckpointEngine(
             storage_write_bw=cluster.storage_write_bw,
             storage_read_bw=cluster.storage_read_bw,
@@ -90,6 +96,11 @@ class TrainingRun:
         self.seed = seed
         self._state: State = make_state(num_tensors=state_tensors, seed=seed)
         self.step_time_s = step_time(spec, config, cluster).total
+
+    @property
+    def state(self) -> State:
+        """A copy of the live training state (for bit-exactness checks)."""
+        return {k: v.copy() for k, v in self._state.items()}
 
     def _advance_state(self, step: int) -> None:
         """Mutate a small part of the state (so differential mode has diffs)."""
@@ -104,10 +115,13 @@ class TrainingRun:
             raise ConfigError("total_steps must be positive")
         tokens_per_step = self.config.global_batch * self.spec.seq_len
         est_hours = total_steps * self.step_time_s / 3600.0 * 3.0 + 1.0
-        failures = FailureModel(self.cluster, seed=self.seed).failure_times(
-            horizon_hours or est_hours
-        )
-        failure_queue = [t * 3600.0 for t in failures]
+        if self.faults is not None:
+            failure_queue = [e.at_s for e in self.faults.of_kind(RANK_DEATH)]
+        else:
+            failures = FailureModel(self.cluster, seed=self.seed).failure_times(
+                horizon_hours or est_hours
+            )
+            failure_queue = [t * 3600.0 for t in failures]
         clock = 0.0
         useful = 0.0
         stall = 0.0

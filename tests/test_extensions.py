@@ -90,6 +90,65 @@ class TestCachedLLM:
             cached.generate(Prompt(task="qa", input=f"How old is person {i}?").render())
         assert len(cached) == 3
 
+    def test_semantic_hit_requires_same_max_tokens(self, world):
+        # Regression: a semantic hit must not return a response generated
+        # under a *larger* max_tokens than the caller asked for.
+        llm = make_llm("sim-base", world=world, seed=30)
+        cached = CachedLLM(llm, semantic_threshold=0.7)
+        base = Prompt(task="qa", input="Where is Acu Corp headquartered?").render()
+        paraphrase = Prompt(task="qa", input="Where is Acu Corp headquartered ?").render()
+        cached.generate(base, max_tokens=256)
+        calls_before = llm.usage.calls
+        tight = cached.generate(paraphrase, max_tokens=8)
+        assert llm.usage.calls == calls_before + 1  # miss: params differ
+        assert cached.stats.semantic_hits == 0
+        assert tight.usage.output_tokens <= 8
+
+    def test_semantic_hit_with_matching_params(self, world):
+        llm = make_llm("sim-base", world=world, seed=30)
+        cached = CachedLLM(llm, semantic_threshold=0.7)
+        base = Prompt(task="qa", input="Where is Acu Corp headquartered?").render()
+        paraphrase = Prompt(task="qa", input="Where is Acu Corp headquartered ?").render()
+        first = cached.generate(base, max_tokens=64)
+        second = cached.generate(paraphrase, max_tokens=64)
+        assert second.text == first.text
+        assert cached.stats.semantic_hits == 1
+
+    def test_fifo_eviction_keeps_stores_consistent(self, world):
+        # Interleave two tasks so eviction pops across *different* per-task
+        # lists; _exact, _by_task, and _insert_order must stay in lockstep.
+        llm = make_llm("sim-base", world=world, seed=30)
+        cached = CachedLLM(llm, semantic_threshold=None, max_entries=4)
+        prompts = [
+            Prompt(task=task, input=f"How old is person {i}?").render()
+            for i in range(4)
+            for task in ("qa", "label")
+        ]
+        for prompt in prompts:
+            cached.generate(prompt)
+        assert len(cached) == 4
+        assert len(cached._insert_order) == 4
+        assert len(cached._exact) == 4
+        assert sum(len(v) for v in cached._by_task.values()) == 4
+        # The survivors are exactly the last four inserts, in order.
+        assert [task for task, _ in cached._insert_order] == ["qa", "label", "qa", "label"]
+        # Every surviving exact key is tracked by the FIFO and vice versa.
+        assert set(cached._exact) == {key for _, key in cached._insert_order}
+        # Oldest inserts were evicted: re-asking person 0 is a fresh miss.
+        calls_before = llm.usage.calls
+        cached.generate(Prompt(task="qa", input="How old is person 0?").render())
+        assert llm.usage.calls == calls_before + 1
+
+    def test_eviction_after_invalidate_is_safe(self, world):
+        llm = make_llm("sim-base", world=world, seed=30)
+        cached = CachedLLM(llm, max_entries=2)
+        for i in range(3):
+            cached.generate(Prompt(task="qa", input=f"How old is person {i}?").render())
+        cached.invalidate()
+        assert len(cached) == 0 and not cached._exact and not cached._by_task
+        cached.generate(Prompt(task="qa", input="How old is person 9?").render())
+        assert len(cached) == 1
+
     def test_saved_usd_accounting(self, world):
         llm = make_llm("sim-base", world=world, seed=30)
         cached = CachedLLM(llm)

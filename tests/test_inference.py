@@ -22,6 +22,7 @@ from repro.inference import (
     ReservedAllocator,
     ServingEngine,
     StaticBatchScheduler,
+    TransferModel,
     compare_policies,
     multi_turn_workload,
     poisson_workload,
@@ -302,6 +303,81 @@ class TestDisaggregation:
     def test_gpu_count_validation(self, workload):
         with pytest.raises(ConfigError):
             simulate_colocated(workload, num_gpus=0)
+
+
+class TestTransferModelValidation:
+    def test_defaults_valid(self):
+        model = TransferModel()
+        assert model.visible_delay(100) >= 0.0
+
+    @pytest.mark.parametrize("overlap", [-0.1, 1.1, 2.0, -5.0])
+    def test_overlap_out_of_range(self, overlap):
+        with pytest.raises(ConfigError):
+            TransferModel(overlap=overlap)
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0, -50e9])
+    def test_non_positive_bandwidth(self, bandwidth):
+        with pytest.raises(ConfigError):
+            TransferModel(bandwidth=bandwidth)
+
+    @pytest.mark.parametrize("bytes_per_token", [0.0, -160_000.0])
+    def test_non_positive_bytes_per_token(self, bytes_per_token):
+        with pytest.raises(ConfigError):
+            TransferModel(bytes_per_token=bytes_per_token)
+
+    def test_boundary_overlaps_allowed(self):
+        # Full overlap hides the whole transfer; zero overlap hides nothing.
+        assert TransferModel(overlap=1.0).visible_delay(100) == 0.0
+        full = TransferModel(overlap=0.0)
+        assert full.visible_delay(100) == full.raw_delay(100)
+
+
+class TestDisaggregationEdgeCases:
+    """More GPUs than requests => empty lanes; they must be no-ops."""
+
+    def test_more_gpus_than_requests_colocated(self):
+        requests = poisson_workload(rate_rps=1, duration_s=2, seed=9)
+        assert 0 < len(requests) < 8
+        report = simulate_colocated(requests, num_gpus=8)
+        assert report.completed == len(requests)
+
+    def test_more_gpus_than_requests_disaggregated(self):
+        requests = poisson_workload(rate_rps=1, duration_s=2, seed=9)
+        assert 0 < len(requests) < 8
+        report = simulate_disaggregated(requests, prefill_gpus=8, decode_gpus=8)
+        assert report.completed == len(requests)
+
+    def test_zero_requests_engine_run(self):
+        engine = ServingEngine(ContinuousBatchScheduler())
+        engine.run([])
+        assert engine.iterations == 0 and engine.now == 0.0
+
+    def test_zero_requests_colocated(self):
+        report = simulate_colocated([], num_gpus=2)
+        assert report.completed == 0
+        assert report.goodput_rps == 0.0
+
+    def test_zero_requests_disaggregated(self):
+        report = simulate_disaggregated([], prefill_gpus=1, decode_gpus=1)
+        assert report.completed == 0
+        # Empty runs report infinite latency (nothing finished), zero goodput.
+        assert report.ttft_p99 == float("inf") and report.goodput_rps == 0.0
+
+    def test_zero_requests_sweep(self):
+        results = sweep_splits([], 3)
+        assert [name for name, _ in results] == [
+            "colocated",
+            "disagg-1p2d",
+            "disagg-2p1d",
+        ]
+        assert all(report.completed == 0 for _, report in results)
+
+    def test_summarize_guards_never_raise(self):
+        # No completed requests at all: every percentile/mean guard kicks in.
+        never_run = [Request(request_id=0, arrival_s=0.0, prompt_tokens=8, output_tokens=4)]
+        report = summarize(never_run)
+        assert report.completed == 0 and report.mean_retries == 0.0
+        assert report.row()["goodput_rps"] == 0.0
 
 
 class TestEvictionPolicies:

@@ -14,6 +14,7 @@ import copy
 
 import pytest
 
+from repro.faults import FaultPlan, RetryPolicy
 from repro.inference import (
     ContinuousBatchScheduler,
     PagedAllocator,
@@ -187,17 +188,22 @@ CASES = {
 }
 
 
-@pytest.mark.parametrize("case", sorted(GOLDEN))
-def test_scheduler_output_is_bit_identical(case):
+def _run_case(case, **extra_engine_kw):
     policy_factory, workload_factory, allocator_factory, engine_kw = CASES[case]
     requests = copy.deepcopy(workload_factory())
     engine = ServingEngine(
         policy_factory(),
         allocator=allocator_factory() if allocator_factory else None,
         **engine_kw,
+        **extra_engine_kw,
     )
     engine.run(requests)
-    report = summarize(requests)
+    return engine, summarize(requests)
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_scheduler_output_is_bit_identical(case):
+    engine, report = _run_case(case)
     expected = GOLDEN[case]
     got = {
         "completed": report.completed,
@@ -219,3 +225,37 @@ def test_scheduler_output_is_bit_identical(case):
         got["shared_saved"] = engine.allocator.stats.shared_saved_tokens
     # Exact equality: a mechanical speedup must not move a single bit.
     assert got == expected
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_empty_fault_plan_is_bit_identical(case):
+    """Zero injected faults => the fault-aware engine changes nothing.
+
+    The fault-injection wiring (retry queue, crash teardown, load shedding)
+    must be completely dead when the plan is empty: same GOLDEN values, to
+    the bit, with the injector armed.
+    """
+    engine, report = _run_case(
+        case, faults=FaultPlan.empty(), retry=RetryPolicy()
+    )
+    expected = GOLDEN[case]
+    got = {
+        "completed": report.completed,
+        "throughput_rps": report.throughput_rps,
+        "ttft_p50": report.ttft_p50,
+        "ttft_p99": report.ttft_p99,
+        "tbt_p50": report.tbt_p50,
+        "tbt_p99": report.tbt_p99,
+        "max_tbt_p99": report.max_tbt_p99,
+        "mean_preemptions": report.mean_preemptions,
+        "prefix_hit_rate": report.prefix_hit_rate,
+        "iterations": engine.iterations,
+        "now": engine.now,
+        "busy_s": engine.busy_s,
+    }
+    if engine.allocator is not None:
+        got["mean_waste"] = engine.allocator.stats.mean_waste_fraction
+        got["peak_reserved"] = engine.allocator.stats.peak_reserved
+        got["shared_saved"] = engine.allocator.stats.shared_saved_tokens
+    assert got == expected
+    assert engine.retries == 0 and engine.rejected == 0 and engine.fault_log == []
