@@ -48,6 +48,13 @@ python -m pytest -x -q || failures=$((failures + 1))
 step "chaos smoke (benchmarks/test_e24_fault_recovery.py)"
 python -m pytest benchmarks/test_e24_fault_recovery.py -x -q || failures=$((failures + 1))
 
+# Prep perf smoke: tiny-scale run of the offline data-path harness.  The
+# speedup thresholds live in the perf-marked suite; this invocation is about
+# the parity assertions inside each case (identical dedup output, bitwise
+# embeddings, matching ANN results) on every commit.
+step "prep perf smoke (benchmarks/perf/test_perf_prep.py::test_prep_smoke)"
+python -m pytest "benchmarks/perf/test_perf_prep.py::test_prep_smoke" -q -m perf || failures=$((failures + 1))
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAIL ($failures step(s) failed)"

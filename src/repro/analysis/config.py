@@ -31,6 +31,8 @@ class LintConfig:
     hot_path_prefixes: Tuple[str, ...] = (
         "src/repro/faults",
         "src/repro/inference",
+        "src/repro/llm/embedding.py",
+        "src/repro/prep/dedup.py",
         "src/repro/training",
         "src/repro/vector",
     )
@@ -48,7 +50,11 @@ class LintConfig:
     # R003: kernel code whose bitwise-parity guarantees depend on explicit
     # dtypes (see tests/test_vector_batch.py).
     dtype_prefixes: Tuple[str, ...] = ("src/repro/vector",)
-    dtype_files: Tuple[str, ...] = ("src/repro/inference/kvcache.py",)
+    dtype_files: Tuple[str, ...] = (
+        "src/repro/inference/kvcache.py",
+        "src/repro/llm/embedding.py",
+        "src/repro/prep/dedup.py",
+    )
     dtype_constructors: FrozenSet[str] = field(
         default_factory=lambda: frozenset({"array", "zeros", "empty", "ones", "full"})
     )

@@ -19,6 +19,7 @@ Two refinements close the gap to learned embedders:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -66,12 +67,17 @@ class EmbeddingModel:
         """Fit inverse-document-frequency weights on ``corpus``.
 
         Optional; without it all tokens are weighted equally. Returns self
-        for chaining.
+        for chaining. One tokenizer pass over the corpus; per-document
+        distinct tokens are tallied with a single ``Counter`` merge.
         """
-        for text in corpus:
-            self._num_docs += 1
-            for token in set(self.tokenizer.content_tokens(text)):
-                self._doc_freq[token] = self._doc_freq.get(token, 0) + 1
+        token_lists = self.tokenizer.content_tokens_many(list(corpus))
+        self._num_docs += len(token_lists)
+        counts: Counter = Counter()
+        for tokens in token_lists:
+            counts.update(set(tokens))
+        doc_freq = self._doc_freq
+        for token, count in counts.items():
+            doc_freq[token] = doc_freq.get(token, 0) + count
         return self
 
     def _idf(self, token: str) -> float:
@@ -107,10 +113,90 @@ class EmbeddingModel:
         return normalize(acc).astype(np.float32)
 
     def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
-        """Embed many texts; returns an ``(n, dim)`` float32 matrix."""
+        """Embed many texts; returns an ``(n, dim)`` float32 matrix.
+
+        Bit-identical to stacking per-text :meth:`embed` calls, but batched:
+        one tokenizer pass, one IDF lookup per distinct token, one
+        ``_unit_vector`` lookup per distinct key, and the accumulation runs
+        as column-slab adds over texts sorted by contribution count. Each
+        text's contributions are applied in the same order as :meth:`embed`
+        (rows are independent, and float32 elementwise ops do not
+        reassociate across rows), so every intermediate rounding step
+        matches the sequential path exactly.
+        """
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float32)
-        return np.stack([self.embed(text) for text in texts])
+        token_lists = self.tokenizer.content_tokens_many(list(texts))
+        n = len(token_lists)
+        key_ids: Dict[str, int] = {}
+        key_of = key_ids.setdefault
+        idf_cache: Dict[str, float] = {}
+        stem_weight = self.stem_weight
+        stem_len = self.stem_len
+        bigram_weight = self.bigram_weight
+        contrib_ids: List[List[int]] = []
+        contrib_weights: List[List[float]] = []
+        for tokens in token_lists:
+            ids: List[int] = []
+            weights: List[float] = []
+            for token in tokens:
+                weight = idf_cache.get(token)
+                if weight is None:
+                    weight = idf_cache[token] = self._idf(token)
+                ids.append(key_of(token, len(key_ids)))
+                weights.append(weight)
+                if stem_weight > 0 and len(token) > stem_len:
+                    ids.append(key_of(token[:stem_len], len(key_ids)))
+                    weights.append(weight * stem_weight)
+            if bigram_weight > 0:
+                for left, right in zip(tokens, tokens[1:]):
+                    ids.append(key_of(f"{left}##{right}", len(key_ids)))
+                    weights.append(bigram_weight)
+            contrib_ids.append(ids)
+            contrib_weights.append(weights)
+        table = np.empty((len(key_ids), self.dim), dtype=np.float32)
+        for key, kid in key_ids.items():
+            table[kid] = self._unit_vector(key)
+        counts = np.array([len(ids) for ids in contrib_ids], dtype=np.int64)
+        order = np.argsort(-counts, kind="stable")
+        sorted_counts = counts[order]
+        flat_ids = np.array(
+            [i for ids in contrib_ids for i in ids], dtype=np.int64
+        )
+        # Weights are float64 in the scalar path until they hit the float32
+        # accumulator; NEP 50 converts them to float32 at that point, so
+        # pre-casting the weight array reproduces the same rounding.
+        flat_weights = np.array(
+            [w for weights in contrib_weights for w in weights], dtype=np.float32
+        )
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        sorted_offsets = offsets[order]
+        acc = np.zeros((n, self.dim), dtype=np.float32)
+        max_contribs = int(sorted_counts[0]) if n else 0
+        active = n
+        for step in range(max_contribs):
+            # Texts are sorted by contribution count, so the rows still
+            # needing a step-th add form a shrinking prefix.
+            while active > 0 and sorted_counts[active - 1] <= step:
+                active -= 1
+            if active == 0:
+                break
+            src = sorted_offsets[:active] + step
+            acc[:active] += (
+                flat_weights[src][:, None] * table[flat_ids[src]]
+            )
+        out = np.empty((n, self.dim), dtype=np.float32)
+        out[order] = acc
+        empty_vec: Optional[np.ndarray] = None
+        for i, tokens in enumerate(token_lists):
+            if tokens:
+                out[i] = normalize(out[i]).astype(np.float32)
+            else:
+                if empty_vec is None:
+                    empty_vec = self._unit_vector("<empty>")
+                out[i] = empty_vec
+        return out
 
     def similarity(self, a: str, b: str) -> float:
         """Cosine similarity of two texts under this model."""

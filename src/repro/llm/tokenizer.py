@@ -25,6 +25,14 @@ from ..errors import TokenizerError
 from ..utils import stable_hash
 
 _TOKEN_PATTERN = re.compile(r"\w+|[^\w\s]|\s+", re.UNICODE)
+# Fast path for content_tokens: whitespace runs and single-character
+# punctuation chunks can never survive the content filter (punctuation is
+# never alphanumeric), so scanning word chunks alone visits roughly half
+# the matches the full lossless pattern does.
+_WORD_PATTERN = re.compile(r"\w+", re.UNICODE)
+# Single non-word, non-space characters — the middle alternative of the
+# lossless pattern.  Each such character is exactly one countable piece.
+_PUNCT_PATTERN = re.compile(r"[^\w\s]", re.UNICODE)
 
 
 @dataclass
@@ -45,6 +53,7 @@ class Tokenizer:
     vocab_size: int = 50_000
     max_word_len: int = 8
     _id_cache: Dict[str, int] = field(default_factory=dict, repr=False)
+    _ascii_run: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.vocab_size < 256:
@@ -93,12 +102,75 @@ class Tokenizer:
         """
         return sum(1 for piece in self.pieces(text) if not piece.isspace())
 
-    def content_tokens(self, text: str) -> List[str]:
-        """Lower-cased non-whitespace, non-punctuation pieces (for embeddings)."""
+    def count_many(self, texts: Sequence[str]) -> List[int]:
+        """:meth:`count` for a whole corpus in two regex scans per text.
+
+        Every ``\\w+`` chunk contributes ``ceil(len / max_word_len)``
+        pieces (the fixed-size long-word split), every ``[^\\w\\s]``
+        character contributes one, and whitespace runs contribute none —
+        so the count reduces to two findall-style scans with no per-piece
+        Python loop.  Exactly equal to :meth:`count` for every input.
+        """
+        step = self.max_word_len
+        pad = step - 1
+        word_iter = _WORD_PATTERN.finditer
+        punct_iter = _PUNCT_PATTERN.finditer
         return [
-            piece.lower()
-            for piece in self.pieces(text)
-            if not piece.isspace() and any(ch.isalnum() for ch in piece)
+            sum((m.end() - m.start() + pad) // step for m in word_iter(text))
+            + sum(1 for _ in punct_iter(text))
+            for text in texts
+        ]
+
+    def content_tokens(self, text: str) -> List[str]:
+        """Lower-cased non-whitespace, non-punctuation pieces (for embeddings).
+
+        Equivalent to filtering :meth:`pieces` but scans only word chunks:
+        whitespace and single-character punctuation chunks can never pass the
+        alphanumeric filter. The ``any(isalnum)`` check is only needed for
+        pieces that could be non-alphanumeric despite matching ``\\w`` —
+        underscores and (for non-ASCII text) combining marks.
+        """
+        out: List[str] = []
+        append = out.append
+        step = self.max_word_len
+        for word in _WORD_PATTERN.findall(text):
+            if len(word) <= step:
+                if ("_" in word or not word.isascii()) and not any(
+                    ch.isalnum() for ch in word
+                ):
+                    continue
+                append(word.lower())
+            else:
+                for i in range(0, len(word), step):
+                    piece = word[i : i + step]
+                    if ("_" in piece or not piece.isascii()) and not any(
+                        ch.isalnum() for ch in piece
+                    ):
+                        continue
+                    append(piece.lower())
+        return out
+
+    def content_tokens_many(self, texts: Sequence[str]) -> List[List[str]]:
+        """:meth:`content_tokens` for a whole corpus, with an ASCII fast path.
+
+        For ASCII text without underscores, ``\\w+`` runs are exactly
+        ``[a-z0-9]+`` runs of the lower-cased text (ASCII lower-casing is
+        length-preserving and keeps alphanumerics alphanumeric), and the
+        greedy ``{1,max_word_len}`` quantifier reproduces the fixed-size
+        long-word split, so one regex scan yields the final token list with
+        no per-word Python loop. Other texts fall back to
+        :meth:`content_tokens`. Output is identical either way.
+        """
+        pattern = self._ascii_run
+        if pattern is None:
+            pattern = self._ascii_run = re.compile(
+                r"[a-z0-9]{1,%d}" % self.max_word_len
+            )
+        findall = pattern.findall
+        slow = self.content_tokens
+        return [
+            findall(t.lower()) if t.isascii() and "_" not in t else slow(t)
+            for t in texts
         ]
 
 

@@ -11,6 +11,16 @@ Implements the dedup toolbox of §2.3.2 [24, 29, 46, 52]:
   exact-Jaccard verification → union-find clustering, keeping one
   representative per cluster.
 
+The corpus-level path is fully batched (the pre-overhaul per-document
+implementation is frozen in ``benchmarks/perf/_legacy_prep.py``): shingling
+interns tokens into integer ids and blake2b-hashes only the corpus's
+*unique* shingles, signatures come from a branchless Mersenne-reduction
+kernel over reused buffers with a segmented ``np.minimum.reduceat`` min,
+and LSH banding factorizes band rows into dense int64 keys grouped with
+``np.unique`` instead of hashing one string per document per band.
+Outputs are identical to the legacy path (proven element-wise in
+``tests/test_prep_batch.py``).
+
 Detection quality is measurable against the corpus generator's
 ``dup_group`` ground truth via :func:`dedup_metrics`.
 """
@@ -19,6 +29,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -31,16 +42,164 @@ from ..utils import derive_rng, stable_hash
 
 _MERSENNE = (1 << 61) - 1
 
+# Shingle-value block size per signature kernel call: bounds the (P, block)
+# int64 buffers to a few MB (measured fastest width on the perf harness).
+_SIGNATURE_BLOCK = 1 << 15
+
 
 def shingles(text: str, n: int = 3) -> Set[int]:
     """Hashed token n-gram shingle set of a document."""
     tokens = default_tokenizer().content_tokens(text)
     if len(tokens) < n:
-        return {stable_hash(" ".join(tokens))} if tokens else set()
+        # Reduced modulo the Mersenne prime like the main branch: raw 64-bit
+        # stable_hash values above 2**63 - 1 overflow int64 signature kernels.
+        return {stable_hash(" ".join(tokens)) % _MERSENNE} if tokens else set()
     return {
         stable_hash(" ".join(tokens[i : i + n])) % _MERSENNE
         for i in range(len(tokens) - n + 1)
     }
+
+
+def _hash_shingle(shingle: str) -> int:
+    """``stable_hash(shingle) % _MERSENNE`` without the per-call validation."""
+    return (
+        int.from_bytes(blake2b(shingle.encode("utf-8"), digest_size=8).digest(), "big")
+        % _MERSENNE
+    )
+
+
+def shingle_hashes_many(texts: Sequence[str], n: int = 3) -> List[np.ndarray]:
+    """Per-document shingle hash arrays for a whole corpus, one pass.
+
+    Semantically each array holds the same values as ``shingles(text, n)``
+    (possibly with in-document repeats, which neither MinHash nor the
+    Jaccard verifier is sensitive to after a ``np.unique``). Exact-duplicate
+    texts share one tokenization; tokens are interned into dense integer
+    ids so every n-gram window becomes one int64 key via vectorized
+    polynomial packing; only the corpus's unique keys are blake2b-hashed,
+    then broadcast back with a single gather.
+    """
+    if n < 1:
+        raise ConfigError(f"shingle size must be >= 1, got {n}")
+    tok = default_tokenizer()
+    out: List[Optional[np.ndarray]] = [None] * len(texts)
+    first_of: Dict[str, int] = {}
+    rep_idx: List[int] = []
+    dup_pairs: List[Tuple[int, int]] = []
+    for i, t in enumerate(texts):
+        j = first_of.setdefault(t, i)
+        if j == i:
+            rep_idx.append(i)
+        else:
+            dup_pairs.append((i, j))
+    token_lists = tok.content_tokens_many([texts[i] for i in rep_idx])
+    empty = np.zeros(0, dtype=np.int64)
+    long_pos: List[int] = []
+    for p, tokens in enumerate(token_lists):
+        if not tokens:
+            out[rep_idx[p]] = empty
+        elif len(tokens) < n:
+            out[rep_idx[p]] = np.array(
+                [_hash_shingle(" ".join(tokens))], dtype=np.int64
+            )
+        else:
+            long_pos.append(p)
+    if long_pos:
+        token_ids: Dict[str, int] = {}
+        setdefault = token_ids.setdefault
+        flat: List[str] = []
+        extend = flat.extend
+        for p in long_pos:
+            extend(token_lists[p])
+        ids_list = [setdefault(t, len(token_ids)) for t in flat]
+        vocab = len(token_ids)
+        if vocab ** n >= 2 ** 63:
+            # Polynomial packing would overflow int64; fall back to hashing
+            # shingle strings directly (still memoized corpus-wide).
+            memo: Dict[str, int] = {}
+            for p in long_pos:
+                tokens = token_lists[p]
+                values = []
+                for j in range(len(tokens) - n + 1):
+                    key = " ".join(tokens[j : j + n])
+                    h = memo.get(key)
+                    if h is None:
+                        h = memo[key] = _hash_shingle(key)
+                    values.append(h)
+                out[rep_idx[p]] = np.array(values, dtype=np.int64)
+        else:
+            all_ids = np.array(ids_list, dtype=np.int64)
+            lengths = np.array(
+                [len(token_lists[p]) for p in long_pos], dtype=np.int64
+            )
+            doc_of = np.repeat(np.arange(len(long_pos), dtype=np.int64), lengths)
+            total = all_ids.shape[0]
+            # Window keys over the concatenated stream; windows straddling a
+            # document boundary are masked out.
+            keys = np.zeros(total - n + 1, dtype=np.int64)
+            for j in range(n):
+                keys *= vocab
+                keys += all_ids[j : total - n + 1 + j]
+            valid = doc_of[: total - n + 1] == doc_of[n - 1 :]
+            keys = keys[valid]
+            uniq_keys, inverse = np.unique(keys, return_inverse=True)
+            # Hash each unique shingle once: decode packed keys back to
+            # tokens and join at the bytes level (UTF-8 concatenates).
+            digits = np.empty((n, uniq_keys.shape[0]), dtype=np.int64)
+            rest = uniq_keys
+            for j in range(n - 1, -1, -1):
+                digits[j] = rest % vocab
+                rest = rest // vocab
+            tok_bytes = [t.encode("utf-8") for t in token_ids]
+            getter = tok_bytes.__getitem__
+            cols = [digits[j].tolist() for j in range(n)]
+            uniq_hashes = np.fromiter(
+                (
+                    int.from_bytes(
+                        blake2b(b" ".join(map(getter, tup)), digest_size=8).digest(),
+                        "big",
+                    )
+                    % _MERSENNE
+                    for tup in zip(*cols)
+                ),
+                dtype=np.int64,
+                count=uniq_keys.shape[0],
+            )
+            hashes = uniq_hashes[inverse]
+            counts = lengths - n + 1
+            offsets = np.zeros(len(long_pos) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            for q, p in enumerate(long_pos):
+                out[rep_idx[p]] = hashes[offsets[q] : offsets[q + 1]]
+    for i, j in dup_pairs:
+        out[i] = out[j]
+    return out  # type: ignore[return-value]
+
+
+def _permute_mod_mersenne(
+    a: np.ndarray, b: np.ndarray, values: np.ndarray, out: np.ndarray, tmp: np.ndarray
+) -> np.ndarray:
+    """``(a * values + b) % _MERSENNE`` into ``out``, no temporaries.
+
+    Element-wise identical to ``np.remainder`` for every int64 input,
+    including negatively wrapped products: with ``M = 2**61 - 1``,
+    ``x = (x >> 61) * 2**61 + (x & M)`` and ``2**61 ≡ 1 (mod M)``, so
+    ``x ≡ (x >> 61) + (x & M)``; two branchless range fixups land the
+    result in ``[0, M)``. Division-free, ~3x faster than ``%``.
+    """
+    np.multiply(a, values[None, :], out=out)
+    np.add(out, b, out=out)
+    np.right_shift(out, 61, out=tmp)
+    np.bitwise_and(out, _MERSENNE, out=out)
+    np.add(out, tmp, out=out)  # in [-4, M + 3]
+    np.right_shift(out, 63, out=tmp)
+    np.bitwise_and(tmp, _MERSENNE, out=tmp)
+    np.add(out, tmp, out=out)  # in [0, M + 3]
+    np.subtract(out, _MERSENNE, out=out)
+    np.right_shift(out, 63, out=tmp)
+    np.bitwise_and(tmp, _MERSENNE, out=tmp)
+    np.add(out, tmp, out=out)  # in [0, M)
+    return out
 
 
 def jaccard(a: Set[int], b: Set[int]) -> float:
@@ -123,9 +282,9 @@ def line_dedup(
     for doc in docs:
         sentences = split_sentences(doc.text)
         doc_sentences.append(sentences)
-        normalized = {s.strip().lower() for s in sentences}
-        for s in normalized:
-            counts[s] += 1
+        # One Counter.update per document (each distinct sentence counted
+        # once per doc) instead of materializing and re-walking a set.
+        counts.update({s.strip().lower() for s in sentences})
     banned = {s for s, c in counts.items() if c > max_occurrences}
     out: List[TrainingDocument] = []
     removed_sentences = 0
@@ -200,41 +359,251 @@ class MinHashDeduper:
         hashed = (self._a[:, None] * values[None, :] + self._b[:, None]) % _MERSENNE
         return hashed.min(axis=1)
 
+    def signature_many(self, shingle_values: Sequence[np.ndarray]) -> np.ndarray:
+        """``(n_docs, P)`` signature matrix from per-doc shingle hash arrays.
+
+        The Mersenne permutation kernel runs over reused ``(P, block)``
+        buffers; per-document minima are segmented with
+        ``np.minimum.reduceat``. Documents with byte-identical shingle
+        arrays (exact duplicates) reuse the first copy's signature row.
+        Element-wise identical to calling :meth:`signature` per document
+        (repeated values cannot change a min, and the int64 wrap semantics
+        of the kernel do not depend on batching).
+        """
+        n = len(shingle_values)
+        out = np.full((n, self.num_permutations), _MERSENNE, dtype=np.int64)
+        if n == 0:
+            return out
+        first_by_bytes: Dict[bytes, int] = {}
+        reps: List[int] = []
+        dup_of: List[Tuple[int, int]] = []
+        for i, v in enumerate(shingle_values):
+            if v.shape[0] == 0:
+                continue
+            key = v.tobytes()
+            seen = first_by_bytes.get(key)
+            if seen is None:
+                first_by_bytes[key] = i
+                reps.append(i)
+            else:
+                dup_of.append((i, seen))
+        if not reps:
+            return out
+        sizes = np.array([shingle_values[i].shape[0] for i in reps], dtype=np.int64)
+        values = (
+            shingle_values[reps[0]]
+            if len(reps) == 1
+            else np.concatenate([shingle_values[i] for i in reps])
+        )
+        offsets = np.zeros(len(reps), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        a = self._a[:, None]
+        b = self._b[:, None]
+        width = max(_SIGNATURE_BLOCK, int(sizes.max()))
+        kernel_buf = np.empty((self.num_permutations, width), dtype=np.int64)
+        shift_buf = np.empty_like(kernel_buf)
+        start = 0
+        while start < len(reps):
+            end = start
+            block = 0
+            while end < len(reps) and (
+                block == 0 or block + sizes[end] <= width
+            ):
+                block += int(sizes[end])
+                end += 1
+            lo = int(offsets[start])
+            hashed = _permute_mod_mersenne(
+                a,
+                b,
+                values[lo : lo + block],
+                kernel_buf[:, :block],
+                shift_buf[:, :block],
+            )
+            offs = offsets[start:end] - lo
+            out[reps[start:end]] = np.minimum.reduceat(hashed, offs, axis=1).T
+            start = end
+        for i, src in dup_of:
+            out[i] = out[src]
+        return out
+
     def estimated_threshold(self) -> float:
         """The S-curve midpoint of the banding scheme."""
         return float((1.0 / self.bands) ** (1.0 / self.rows_per_band))
 
-    def dedup(self, docs: Sequence[TrainingDocument]) -> DedupResult:
-        shingle_sets = [shingles(d.text, self.shingle_size) for d in docs]
-        signatures = [self.signature(s) for s in shingle_sets]
-        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        for i, sig in enumerate(signatures):
-            for band in range(self.bands):
-                lo = band * self.rows_per_band
-                key = stable_hash(
-                    f"{band}:" + ",".join(map(str, sig[lo : lo + self.rows_per_band]))
-                )
-                buckets[(band, key)].append(i)
-        uf = _UnionFind()
-        candidate_pairs = 0
-        verified_pairs = 0
-        checked: Set[Tuple[int, int]] = set()
-        for ids in buckets.values():
-            if len(ids) < 2:
+    def _candidate_pairs(self, signatures: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct document pairs sharing at least one LSH band.
+
+        Identical band rows ⇔ identical legacy bucket keys (the legacy path
+        hashed the row string; grouping the rows directly drops the hash).
+        Documents with identical full signatures co-bucket in every band,
+        so they are collapsed to one representative first: banding runs on
+        unique signature rows and each representative-level pair expands to
+        the full cross product afterwards, generating every document pair
+        exactly once instead of once per shared band. Band rows are
+        factorized column-by-column into dense int64 keys — key equality ⇔
+        row equality — so grouping is four 1D sorts per band instead of a
+        structured-dtype sort. Returns distinct ``(lo, hi)`` index arrays
+        (unordered).
+        """
+        n_docs = signatures.shape[0]
+        first_by_row: Dict[bytes, int] = {}
+        groups: List[List[int]] = []
+        for i in range(n_docs):
+            g = first_by_row.setdefault(signatures[i].tobytes(), len(groups))
+            if g == len(groups):
+                groups.append([i])
+            else:
+                groups[g].append(i)
+        n = len(groups)
+        group_sizes = np.array([len(g) for g in groups], dtype=np.int64)
+        rep_rows = np.array([g[0] for g in groups], dtype=np.int64)
+        banded = signatures[rep_rows].reshape(n, self.bands, self.rows_per_band)
+        pair_lo: List[np.ndarray] = []
+        pair_hi: List[np.ndarray] = []
+        for band in range(self.bands):
+            uniq0, key = np.unique(banded[:, band, 0], return_inverse=True)
+            key = key.astype(np.int64, copy=False).reshape(-1)
+            card = uniq0.shape[0]
+            for c in range(1, self.rows_per_band):
+                uniq_c, inv_c = np.unique(banded[:, band, c], return_inverse=True)
+                if card * uniq_c.shape[0] >= 2 ** 62:
+                    # Re-densify so the combined key stays in int64 range
+                    # (card <= n afterwards, and n**2 < 2**62 always here).
+                    _, key = np.unique(key, return_inverse=True)
+                    key = key.astype(np.int64, copy=False).reshape(-1)
+                    card = n
+                key *= uniq_c.shape[0]
+                key += inv_c.reshape(-1)
+                card *= uniq_c.shape[0]
+            _, inverse, counts = np.unique(
+                key, return_inverse=True, return_counts=True
+            )
+            inverse = inverse.reshape(-1)
+            if not (counts >= 2).any():
                 continue
-            for x in range(len(ids)):
-                for y in range(x + 1, len(ids)):
-                    pair = (min(ids[x], ids[y]), max(ids[x], ids[y]))
-                    if pair in checked:
-                        continue
-                    checked.add(pair)
-                    candidate_pairs += 1
-                    if jaccard(shingle_sets[pair[0]], shingle_sets[pair[1]]) >= self.verify_threshold:
-                        verified_pairs += 1
-                        uf.union(pair[0], pair[1])
+            order = np.argsort(inverse, kind="stable")
+            sorted_inv = inverse[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_inv[1:] != sorted_inv[:-1]]
+            )
+            seg_sizes = np.diff(np.r_[starts, sorted_inv.shape[0]])
+            # One pair-extraction kernel per distinct bucket size: every
+            # bucket of size c yields its C(c, 2) pairs in a single fancy
+            # index instead of a Python loop over buckets.
+            for size in np.unique(seg_sizes).tolist():
+                if size < 2:
+                    continue
+                members = order[
+                    starts[seg_sizes == size][:, None]
+                    + np.arange(size, dtype=np.int64)
+                ]
+                ii, jj = np.triu_indices(size, k=1)
+                a_idx = members[:, ii].reshape(-1)
+                b_idx = members[:, jj].reshape(-1)
+                pair_lo.append(np.minimum(a_idx, b_idx))
+                pair_hi.append(np.maximum(a_idx, b_idx))
+        # Expand representative-level pairs back to document pairs: every
+        # cross pair between two groups, plus all within-group pairs of any
+        # group with 2+ members (identical signatures always co-bucket).
+        doc_lo: List[np.ndarray] = []
+        doc_hi: List[np.ndarray] = []
+        if pair_lo:
+            keys = np.unique(
+                np.concatenate(pair_lo) * n + np.concatenate(pair_hi)
+            )
+            glo = keys // n
+            ghi = keys % n
+            singleton = (group_sizes[glo] == 1) & (group_sizes[ghi] == 1)
+            a_doc = rep_rows[glo[singleton]]
+            b_doc = rep_rows[ghi[singleton]]
+            doc_lo.append(np.minimum(a_doc, b_doc))
+            doc_hi.append(np.maximum(a_doc, b_doc))
+            multi = ~singleton
+            for ga, gb in zip(glo[multi].tolist(), ghi[multi].tolist()):
+                a_mem = np.array(groups[ga], dtype=np.int64)
+                b_mem = np.array(groups[gb], dtype=np.int64)
+                aa = np.repeat(a_mem, b_mem.shape[0])
+                bb = np.tile(b_mem, a_mem.shape[0])
+                doc_lo.append(np.minimum(aa, bb))
+                doc_hi.append(np.maximum(aa, bb))
+        for g in np.flatnonzero(group_sizes >= 2).tolist():
+            members = np.array(groups[g], dtype=np.int64)
+            ii, jj = np.triu_indices(members.shape[0], k=1)
+            doc_lo.append(members[ii])
+            doc_hi.append(members[jj])
+        if not doc_lo:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(doc_lo), np.concatenate(doc_hi)
+
+    def dedup(self, docs: Sequence[TrainingDocument]) -> DedupResult:
+        shingle_values = shingle_hashes_many(
+            [d.text for d in docs], self.shingle_size
+        )
+        signatures = self.signature_many(shingle_values)
+        lo, hi = self._candidate_pairs(signatures)
+        candidate_pairs = int(lo.shape[0])
+        verified_pairs = 0
+        parent = list(range(len(docs)))
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(i: int, j: int) -> None:
+            ra, rb = find(i), find(j)
+            if ra != rb:
+                parent[rb] = ra
+
+        threshold = self.verify_threshold
+        if candidate_pairs:
+            # Group involved documents by identical unique-shingle arrays:
+            # equal sets ⇒ Jaccard exactly 1.0, no set algebra needed. Docs
+            # with equal shingle sets have equal signatures, so every pair
+            # inside such a group is already a candidate — chain unions
+            # connect the group in O(size) instead of O(size**2).
+            involved = np.union1d(lo, hi)
+            uniques: Dict[int, np.ndarray] = {}
+            group_id = np.full(len(docs), -1, dtype=np.int64)
+            group_members: Dict[int, List[int]] = defaultdict(list)
+            gid_by_bytes: Dict[bytes, int] = {}
+            for i in involved.tolist():
+                ua = np.unique(shingle_values[i])
+                uniques[i] = ua
+                gid = gid_by_bytes.setdefault(ua.tobytes(), len(gid_by_bytes))
+                group_id[i] = gid
+                group_members[gid].append(i)
+            equal_sets = group_id[lo] == group_id[hi]
+            n_equal = int(np.count_nonzero(equal_sets))
+            if n_equal and 1.0 >= threshold:
+                verified_pairs += n_equal
+                for members in group_members.values():
+                    for i, j in zip(members, members[1:]):
+                        union(i, j)
+            as_set: Dict[int, Set[int]] = {}
+            unequal = ~equal_sets
+            for i, j in zip(lo[unequal].tolist(), hi[unequal].tolist()):
+                sa = as_set.get(i)
+                if sa is None:
+                    sa = as_set[i] = set(uniques[i].tolist())
+                sb = as_set.get(j)
+                if sb is None:
+                    sb = as_set[j] = set(uniques[j].tolist())
+                inter = len(sa & sb)
+                union_size = len(sa) + len(sb) - inter
+                # Unequal sets are never both empty, so union_size > 0 and
+                # the legacy both-empty => 1.0 rule cannot apply here.
+                sim = inter / union_size
+                if sim >= threshold:
+                    verified_pairs += 1
+                    union(i, j)
         clusters: Dict[int, List[int]] = defaultdict(list)
         for i in range(len(docs)):
-            clusters[uf.find(i)].append(i)
+            clusters[find(i)].append(i)
         kept: List[TrainingDocument] = []
         removed: List[TrainingDocument] = []
         for root, members in clusters.items():

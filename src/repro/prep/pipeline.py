@@ -94,7 +94,9 @@ class PrepPipeline:
         tok = default_tokenizer()
 
         def token_total(items: Sequence[TrainingDocument]) -> int:
-            return sum(tok.count(d.text) for d in items)
+            # One batched tokenizer pass per stage boundary; equals summing
+            # tok.count(d.text) per document.
+            return sum(tok.count_many([d.text for d in items]))
 
         current = list(docs)
         report = PipelineReport()

@@ -106,14 +106,16 @@ class BM25Retriever(Retriever):
         self._lengths: List[int] = []
 
     def add(self, chunks: Sequence[Chunk]) -> None:
-        for chunk in chunks:
-            tokens = self.tokenizer.content_tokens(chunk.text)
+        # One tokenizer pass over the whole batch; per-chunk stats and the
+        # corpus document frequencies come out identical to the old
+        # chunk-at-a-time loop.
+        token_lists = self.tokenizer.content_tokens_many([c.text for c in chunks])
+        for chunk, tokens in zip(chunks, token_lists):
             tf = Counter(tokens)
             self._chunks.append(chunk)
             self._term_freqs.append(tf)
             self._lengths.append(len(tokens))
-            for term in tf:
-                self._doc_freq[term] += 1
+            self._doc_freq.update(tf.keys())
 
     def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
         if not self._chunks:

@@ -77,9 +77,11 @@ class TestBatchedParity:
             index.remove(f"v{i}")
         _assert_parity(index, queries)
 
-    def test_hnsw_falls_back_to_per_query_loop(self):
-        # HNSW has no batched kernel; search_many must still work via the
-        # base-class per-query fallback and agree with single search.
+    def test_hnsw_batched_equals_looped_search(self):
+        # HNSW overrides _search_ids_many with the array-native graph
+        # kernel; every traversal is per query, so the batch must agree
+        # with single search exactly (see also tests/test_prep_batch.py
+        # for parity against the frozen pre-overhaul implementation).
         index = HNSWIndex(32, "cosine", m=8, ef_search=40, seed=1)
         queries = _populate(index, n=200)[:5]
         _assert_parity(index, queries, k=5)
