@@ -1,0 +1,409 @@
+"""FROZEN naive fleet DES: the pre-optimization cluster simulator.
+
+This module preserves the straightforward implementation of the
+request-granular fleet model that :class:`repro.inference.fleet.
+ClusterFleet` replaced, as the perf + parity baseline.  **Do not edit**:
+``benchmarks/perf/harness_fleet.py`` and ``tests/test_fleet.py`` assert
+the optimized loop stays bitwise-identical to this one, the same contract
+``_legacy.py`` carries for the single engine.
+
+The naive shape, deliberately kept:
+
+* **one global event heap** holding every future arrival (all pushed up
+  front), finish, retry, spawn, death, and autoscale tick as
+  ``(time, priority, a, b, c)`` tuples — every pop pays O(log n) over a
+  heap that starts at workload size;
+* **stale-event tombstones**: a replica death cannot remove its victims'
+  finish records from the global heap, so each request carries an ``epoch``
+  tag and stale finishes are skipped on pop (lazy invalidation);
+* **per-request objects in string-keyed dicts** (the pre-PR1 engine
+  idiom): replicas track in-flight work as ``{request_id: record}``;
+* **router metric scans**: every decision walks the replica objects in
+  Python instead of reading vectorized columns.
+
+Event order is identical to the optimized loop by construction — the
+priority ladder death(0) < spawn(1) < finish(2) < retry(3) < arrival(4) <
+tick(5) is encoded in the tuple's second field — and every latency
+expression is written token-for-token the same, so results agree bitwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, SchedulerError
+from repro.faults import REPLICA_DEATH, FaultPlan, RetryPolicy
+from repro.inference.fleet import (
+    AutoscalePolicy,
+    FleetResult,
+    FleetWorkload,
+    ReplicaModel,
+)
+from repro.inference.request import SLO
+from repro.utils import derive_rng
+
+_INF = float("inf")
+
+
+class _LegacyRecord:
+    """Mutable per-request state, one Python object per request."""
+
+    def __init__(
+        self,
+        index: int,
+        arrival_s: float,
+        prompt_tokens: int,
+        output_tokens: int,
+        prefix_code: int,
+        prefix_tokens: int,
+    ) -> None:
+        self.index = index
+        self.request_id = f"req-{index:07d}"
+        self.arrival_s = arrival_s
+        self.prompt_tokens = prompt_tokens
+        self.output_tokens = output_tokens
+        self.prefix_code = prefix_code
+        self.prefix_tokens = prefix_tokens
+        self.replica = -1
+        self.start_s = float("nan")
+        self.first_token_s = float("nan")
+        self.finish_s = float("nan")
+        self.retries = 0
+        self.rejected = False
+        self.prefix_hit_tokens = 0
+        self.epoch = 0
+
+
+class _LegacyReplica:
+    """One replica's queue, in-flight registry, KV ledger, prefix cache."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.queue: Deque[_LegacyRecord] = deque()
+        self.in_flight: Dict[str, _LegacyRecord] = {}
+        self.running = 0
+        self.kv_used = 0
+        self.prefix: Dict[int, int] = {}
+        self.alive = False
+        self.draining = False
+
+
+class LegacyClusterFleet:
+    """The naive global-heap fleet simulator (frozen)."""
+
+    def __init__(
+        self,
+        n_replicas: int,
+        policy: str,
+        *,
+        router_seed: int = 0,
+        block_tokens: int = 64,
+        model: Optional[ReplicaModel] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        shed_slo: Optional[SLO] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
+    ) -> None:
+        if n_replicas <= 0:
+            raise ConfigError("n_replicas must be positive")
+        if policy not in ("random", "least-loaded", "prefix-aware"):
+            raise ConfigError(f"unknown router {policy!r}")
+        self.policy = policy
+        self.router_seed = router_seed
+        self.block_tokens = block_tokens
+        self.model = model or ReplicaModel()
+        self.retry = retry or RetryPolicy()
+        self.shed_slo = shed_slo
+        self.autoscale = autoscale
+        self.n_replicas = n_replicas
+        self.max_replicas = (
+            max(n_replicas, autoscale.max_replicas) if autoscale else n_replicas
+        )
+        self._deaths = faults.of_kind(REPLICA_DEATH) if faults is not None else []
+
+    # ----------------------------------------------------------- routing
+    def _routable(self, replicas: List[_LegacyReplica]) -> List[_LegacyReplica]:
+        return [rep for rep in replicas if rep.alive and not rep.draining]
+
+    def _load_key(self, rep: _LegacyReplica) -> int:
+        span = self.model.kv_capacity_tokens + 1
+        return (len(rep.queue) + rep.running) * span + rep.kv_used
+
+    def _route(self, record: _LegacyRecord, replicas: List[_LegacyReplica]) -> _LegacyReplica:
+        routable = self._routable(replicas)
+        if not routable:
+            raise SchedulerError("no routable replicas")
+        if self.policy == "random":
+            u = float(self._rng.random())
+            k = len(routable)
+            j = int(u * k)
+            if j >= k:
+                j = k - 1
+            return routable[j]
+        if self.policy == "prefix-aware" and record.prefix_code >= 0 and record.prefix_tokens > 0:
+            block = self.block_tokens
+            best_hit = 0
+            for rep in routable:
+                cached = rep.prefix.get(record.prefix_code, 0)
+                m = cached if cached < record.prefix_tokens else record.prefix_tokens
+                hit = m - m % block
+                if hit > best_hit:
+                    best_hit = hit
+            if best_hit > 0:
+                chosen = None
+                chosen_key = 0
+                for rep in routable:
+                    cached = rep.prefix.get(record.prefix_code, 0)
+                    m = cached if cached < record.prefix_tokens else record.prefix_tokens
+                    if m - m % block != best_hit:
+                        continue
+                    key = self._load_key(rep)
+                    if chosen is None or key < chosen_key:
+                        chosen = rep
+                        chosen_key = key
+                assert chosen is not None
+                return chosen
+        # least-loaded (also the prefix-aware fallback)
+        chosen = routable[0]
+        chosen_key = self._load_key(chosen)
+        for rep in routable[1:]:
+            key = self._load_key(rep)
+            if key < chosen_key:
+                chosen = rep
+                chosen_key = key
+        return chosen
+
+    # ---------------------------------------------------------- main loop
+    def run(self, workload: FleetWorkload) -> FleetResult:
+        model = self.model
+        n = workload.n
+        need_max = int((workload.prompt_tokens + workload.output_tokens).max())
+        if need_max > model.kv_capacity_tokens:
+            raise ConfigError(
+                "a request needs more KV than one replica holds "
+                f"({need_max} > {model.kv_capacity_tokens})"
+            )
+        self._rng = derive_rng(self.router_seed, "fleet", "router")
+        records = [
+            _LegacyRecord(
+                i,
+                float(workload.arrival_s[i]),
+                int(workload.prompt_tokens[i]),
+                int(workload.output_tokens[i]),
+                int(workload.prefix_code[i]),
+                int(workload.prefix_tokens[i]),
+            )
+            for i in range(n)
+        ]
+        replicas = [_LegacyReplica(r) for r in range(self.max_replicas)]
+        for r in range(self.n_replicas):
+            replicas[r].alive = True
+        alive_count = self.n_replicas
+        scale = self.autoscale
+        shed = self.shed_slo
+        retry_policy = self.retry
+        slots = model.slots
+        kv_cap = model.kv_capacity_tokens
+        base = model.base_s
+        per_pf = model.per_prefill_token_s
+        per_out = model.per_output_token_s
+        block = model.block_tokens
+
+        # One heap for everything: (time, priority, a, b, c).
+        heap: List[Tuple[float, int, int, int, int]] = []
+        for i in range(n):
+            heap.append((records[i].arrival_s, 4, i, 0, 0))
+        for k, event in enumerate(self._deaths):
+            heap.append((event.at_s, 0, k, 0, 0))
+        if scale is not None:
+            heap.append((scale.interval_s, 5, 0, 0, 0))
+        heapq.heapify(heap)
+        seq = 0
+        pending_spawns = 0
+        completed = 0
+        rejected = 0
+        deaths = spawns = drains = reroutes = 0
+        served = [0] * self.max_replicas
+        clock = 0.0
+
+        def try_start(rep: _LegacyReplica, t: float) -> None:
+            nonlocal rejected, seq
+            while rep.queue and rep.running < slots:
+                record = rep.queue[0]
+                if shed is not None and t - record.arrival_s > shed.ttft_s:
+                    rep.queue.popleft()
+                    record.rejected = True
+                    rejected += 1
+                    continue
+                need = record.prompt_tokens + record.output_tokens
+                if rep.kv_used + need > kv_cap:
+                    break
+                rep.queue.popleft()
+                rep.running += 1
+                rep.kv_used += need
+                hit = 0
+                code = record.prefix_code
+                if code >= 0:
+                    pt = record.prefix_tokens
+                    cached = rep.prefix.get(code)
+                    if cached is not None:
+                        m = cached if cached < pt else pt
+                        hit = m - m % block
+                    if cached is None or pt > cached:
+                        rep.prefix[code] = pt
+                eff = record.prompt_tokens - hit
+                if eff < 1:
+                    eff = 1
+                first = t + (base + eff * per_pf)
+                fin = first + (record.output_tokens - 1) * per_out
+                record.replica = rep.index
+                record.start_s = t
+                record.first_token_s = first
+                record.finish_s = fin
+                record.prefix_hit_tokens = hit
+                rep.in_flight[record.request_id] = record
+                heapq.heappush(heap, (fin, 2, rep.index, record.index, record.epoch))
+
+        def route_to(record: _LegacyRecord, t: float) -> None:
+            rep = self._route(record, replicas)
+            rep.queue.append(record)
+            try_start(rep, t)
+
+        def retire(rep: _LegacyReplica) -> None:
+            nonlocal alive_count, drains
+            rep.alive = False
+            rep.draining = False
+            rep.prefix = {}
+            alive_count -= 1
+            drains += 1
+
+        while completed + rejected < n:
+            if not heap:
+                raise SchedulerError(
+                    "fleet stalled: queued work but no runnable event "
+                    f"({completed + rejected}/{n} settled)"
+                )
+            t, prio, a, b, c = heapq.heappop(heap)
+            clock = t
+            if prio == 4:  # arrival
+                route_to(records[a], t)
+            elif prio == 2:  # finish (maybe stale)
+                record = records[b]
+                if record.epoch != c or record.replica != a:
+                    continue
+                rep = replicas[a]
+                del rep.in_flight[record.request_id]
+                rep.running -= 1
+                rep.kv_used -= record.prompt_tokens + record.output_tokens
+                completed += 1
+                served[a] += 1
+                try_start(rep, t)
+                if rep.draining and rep.running == 0 and not rep.queue:
+                    retire(rep)
+            elif prio == 3:  # retry ready
+                route_to(records[b], t)
+            elif prio == 0:  # replica death
+                event = self._deaths[a]
+                cands = [rep for rep in replicas if rep.alive and not rep.draining]
+                if not cands:
+                    cands = [rep for rep in replicas if rep.alive]
+                victim: Optional[_LegacyReplica] = None
+                if event.target is not None:
+                    name = event.target
+                    if name.startswith("replica-"):
+                        slot = int(name[len("replica-") :])
+                        if 0 <= slot < self.max_replicas and replicas[slot].alive:
+                            victim = replicas[slot]
+                elif cands:
+                    victim = cands[deaths % len(cands)]
+                if victim is None:
+                    continue
+                deaths += 1
+                victim.alive = False
+                victim.draining = False
+                alive_count -= 1
+                in_flight = sorted(
+                    victim.in_flight.values(), key=lambda q: (q.finish_s, q.index)
+                )
+                stranded = list(victim.queue)
+                victim.queue.clear()
+                victim.in_flight = {}
+                victim.running = 0
+                victim.kv_used = 0
+                victim.prefix = {}
+                for record in in_flight:
+                    record.epoch += 1  # tombstone the stale finish event
+                    record.retries += 1
+                    record.replica = -1
+                    record.start_s = float("nan")
+                    record.first_token_s = float("nan")
+                    record.finish_s = float("nan")
+                    record.prefix_hit_tokens = 0
+                    if retry_policy.exhausted(record.retries):
+                        record.rejected = True
+                        rejected += 1
+                    else:
+                        ready = event.end_s + retry_policy.delay_s(record.retries)
+                        heapq.heappush(heap, (ready, 3, seq, record.index, 0))
+                        seq += 1
+                for record in stranded:
+                    reroutes += 1
+                    route_to(record, event.at_s)
+            elif prio == 1:  # spawn ready
+                pending_spawns -= 1
+                slot = None
+                for rep in replicas:
+                    if not rep.alive:
+                        slot = rep
+                        break
+                if slot is not None:
+                    slot.alive = True
+                    slot.draining = False
+                    alive_count += 1
+                    spawns += 1
+            else:  # autoscale tick
+                assert scale is not None
+                heapq.heappush(heap, (t + scale.interval_s, 5, 0, 0, 0))
+                routable = self._routable(replicas)
+                nr = len(routable)
+                if nr > 0:
+                    waiting = sum(len(rep.queue) for rep in routable)
+                    per = waiting / nr
+                    if (
+                        per > scale.high_queue_per_replica
+                        and alive_count + pending_spawns < scale.max_replicas
+                    ):
+                        heapq.heappush(heap, (t + scale.spawn_delay_s, 1, seq, 0, 0))
+                        seq += 1
+                        pending_spawns += 1
+                    elif per < scale.low_queue_per_replica and nr > scale.min_replicas:
+                        rep = routable[nr - 1]
+                        rep.draining = True
+                        if rep.running == 0 and not rep.queue:
+                            retire(rep)
+
+        return FleetResult(
+            replica=np.asarray([q.replica for q in records], dtype=np.int64),
+            start_s=np.asarray([q.start_s for q in records], dtype=np.float64),
+            first_token_s=np.asarray(
+                [q.first_token_s for q in records], dtype=np.float64
+            ),
+            finish_s=np.asarray([q.finish_s for q in records], dtype=np.float64),
+            retries=np.asarray([q.retries for q in records], dtype=np.int64),
+            rejected=np.asarray([q.rejected for q in records], dtype=np.bool_),
+            prefix_hit_tokens=np.asarray(
+                [q.prefix_hit_tokens for q in records], dtype=np.int64
+            ),
+            completed=completed,
+            rejected_total=rejected,
+            deaths=deaths,
+            spawns=spawns,
+            drains=drains,
+            reroutes=reroutes,
+            served_per_replica=np.asarray(served, dtype=np.int64),
+            sim_end_s=clock,
+        )

@@ -1,0 +1,216 @@
+"""E25 — Fleet serving: cache-aware routing, replica loss, autoscaling.
+
+Claims under test, at the cluster level the paper's serving section
+describes (Mooncake-style prefix routing, DistServe-style goodput
+protection): (a) when the prefix universe is larger than the fleet —
+so no single replica organically caches everything — prefix-aware
+routing converts cold prefills into cache hits and cuts the TTFT tail
+versus random and least-loaded placement, without load-concentration
+pathology; (b) seeded replica deaths degrade the fleet gracefully:
+in-flight work is re-routed and retried on survivors, shedding stays
+marginal, and throughput declines smoothly with the death rate; (c)
+queue-depth autoscaling absorbs a burst a fixed fleet drowns under,
+then drains back down when the burst passes.
+
+Everything runs on :class:`repro.inference.ClusterFleet`, whose event
+loop is pinned bitwise to a frozen naive simulator
+(``benchmarks/perf/_legacy_fleet.py``) by ``tests/test_fleet.py`` and
+the fleet perf suite — these tables measure policy, not implementation
+drift.
+"""
+
+from repro.faults import REPLICA_DEATH, FaultPlan, RetryPolicy
+from repro.inference import (
+    SLO,
+    AutoscalePolicy,
+    ClusterFleet,
+    ReplicaModel,
+    fleet_poisson_workload,
+    make_router,
+    summarize_fleet,
+)
+
+from ._util import attach, print_table, run_once
+
+MODEL = ReplicaModel(slots=32, kv_capacity_tokens=131072)
+POLICIES = ("random", "least-loaded", "prefix-aware")
+
+
+def test_e25_router_policy_comparison(benchmark):
+    def experiment():
+        # 256 shared prefixes over 16 replicas: a random replica rarely
+        # holds a given prefix, so placement decides the prefill bill.
+        workload = fleet_poisson_workload(
+            30_000,
+            rate_rps=1500.0,
+            prompt_mean=512,
+            output_mean=16,
+            num_prefixes=256,
+            prefix_tokens=2048,
+            prefix_fraction=0.8,
+            seed=25,
+        )
+        rows = []
+        for policy in POLICIES:
+            fleet = ClusterFleet(16, make_router(policy, seed=25), model=MODEL)
+            result = fleet.run(workload)
+            report = summarize_fleet(workload, result, policy=policy)
+            rows.append(
+                {
+                    "policy": policy,
+                    "completed": report.completed,
+                    "prefix_hit_rate": report.prefix_hit_rate,
+                    "hit_tokens_m": result.prefix_hit_tokens.sum() / 1e6,
+                    "ttft_p50_s": report.ttft_p50,
+                    "ttft_p95_s": report.ttft_p95,
+                    "ttft_p99_s": report.ttft_p99,
+                    "imbalance": report.imbalance,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E25a: router policy comparison (256 prefixes, 16 replicas)", rows)
+    attach(benchmark, rows)
+    rand, least, aware = rows
+    assert all(r["completed"] == 30_000 for r in rows)
+    # Cache-aware placement converts cold prefills into hits ...
+    assert aware["prefix_hit_rate"] > rand["prefix_hit_rate"] + 0.05
+    assert aware["hit_tokens_m"] > rand["hit_tokens_m"] * 1.1
+    # ... which shows up as a shorter TTFT tail, not just a cache stat.
+    assert aware["ttft_p95_s"] < 0.6 * rand["ttft_p95_s"]
+    assert aware["ttft_p99_s"] < least["ttft_p99_s"]
+    # Enough prefix families spread the heat: no concentration pathology.
+    assert aware["imbalance"] < 1.5
+    # Least-loaded earns its name against random placement.
+    assert least["imbalance"] <= rand["imbalance"]
+    assert least["ttft_p99_s"] <= rand["ttft_p99_s"]
+
+
+def test_e25_replica_death_resilience(benchmark):
+    def experiment():
+        workload = fleet_poisson_workload(
+            20_000,
+            rate_rps=1000.0,
+            prompt_mean=512,
+            output_mean=16,
+            num_prefixes=64,
+            prefix_tokens=2048,
+            prefix_fraction=0.8,
+            seed=25,
+        )
+        horizon = float(workload.arrival_s[-1])
+        scale = AutoscalePolicy(
+            min_replicas=4,
+            max_replicas=12,
+            high_queue_per_replica=4.0,
+            low_queue_per_replica=0.25,
+            interval_s=0.5,
+            spawn_delay_s=1.0,
+        )
+        rows = []
+        for expected_deaths in (0.0, 2.0, 6.0):
+            plan = (
+                FaultPlan.empty()
+                if expected_deaths == 0.0
+                else FaultPlan.seeded(
+                    seed=25,
+                    horizon_s=horizon,
+                    rates={REPLICA_DEATH: expected_deaths / horizon},
+                )
+            )
+            fleet = ClusterFleet(
+                8,
+                make_router("least-loaded"),
+                model=MODEL,
+                faults=plan,
+                retry=RetryPolicy(),
+                shed_slo=SLO(ttft_s=2.0),
+                autoscale=scale,
+            )
+            result = fleet.run(workload)
+            report = summarize_fleet(workload, result, policy="least-loaded")
+            rows.append(
+                {
+                    "death_rate": expected_deaths,
+                    "deaths": result.deaths,
+                    "spawns": result.spawns,
+                    "retries": int(result.retries.sum()),
+                    "completed": result.completed,
+                    "shed": result.rejected_total,
+                    "ttft_p99_s": report.ttft_p99,
+                    "throughput_rps": report.throughput_rps,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E25b: replica-death resilience (shed SLO 2s, autoscale)", rows)
+    attach(benchmark, rows)
+    clean = rows[0]
+    assert clean["deaths"] == 0 and clean["completed"] == 20_000
+    # Deaths actually fire, scale with the rate, and are re-routed/retried.
+    assert rows[2]["deaths"] > rows[1]["deaths"] > 0
+    assert rows[2]["retries"] > rows[1]["retries"] > 0
+    for row in rows:
+        # Every request is accounted for: served or explicitly shed.
+        assert row["completed"] + row["shed"] == 20_000
+        # Graceful degradation, not a cliff.
+        assert row["completed"] >= 0.99 * 20_000
+        assert row["throughput_rps"] >= 0.85 * clean["throughput_rps"]
+
+
+def test_e25_autoscale_absorbs_burst(benchmark):
+    def experiment():
+        # Offered load ~3x what four replicas sustain.
+        workload = fleet_poisson_workload(
+            20_000,
+            rate_rps=1600.0,
+            prompt_mean=512,
+            output_mean=16,
+            seed=26,
+        )
+        rows = []
+        fixed = ClusterFleet(4, make_router("least-loaded"), model=MODEL)
+        fixed_result = fixed.run(workload)
+        scaled = ClusterFleet(
+            4,
+            make_router("least-loaded"),
+            model=MODEL,
+            autoscale=AutoscalePolicy(
+                min_replicas=4,
+                max_replicas=16,
+                high_queue_per_replica=4.0,
+                low_queue_per_replica=0.25,
+                interval_s=0.5,
+                spawn_delay_s=1.0,
+            ),
+        )
+        scaled_result = scaled.run(workload)
+        for name, result in (("fixed-4", fixed_result), ("autoscale-4..16", scaled_result)):
+            report = summarize_fleet(workload, result, policy=name)
+            rows.append(
+                {
+                    "fleet": name,
+                    "spawns": result.spawns,
+                    "drains": result.drains,
+                    "completed": result.completed,
+                    "ttft_p50_s": report.ttft_p50,
+                    "ttft_p99_s": report.ttft_p99,
+                    "throughput_rps": report.throughput_rps,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E25c: queue-depth autoscaling under a 3x burst", rows)
+    attach(benchmark, rows)
+    fixed, scaled = rows
+    assert fixed["spawns"] == 0
+    assert scaled["spawns"] > 0
+    # Scale-in fires once the burst passes.
+    assert scaled["drains"] > 0
+    # The fixed fleet drowns; the autoscaled fleet holds the tail.
+    assert scaled["ttft_p99_s"] < 0.25 * fixed["ttft_p99_s"]
+    assert scaled["throughput_rps"] > 2.0 * fixed["throughput_rps"]
+    assert scaled["completed"] == fixed["completed"] == 20_000

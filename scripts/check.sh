@@ -55,6 +55,14 @@ python -m pytest benchmarks/test_e24_fault_recovery.py -x -q || failures=$((fail
 step "prep perf smoke (benchmarks/perf/test_perf_prep.py::test_prep_smoke)"
 python -m pytest "benchmarks/perf/test_perf_prep.py::test_prep_smoke" -q -m perf || failures=$((failures + 1))
 
+# Fleet perf smoke: tiny-scale run of all three router policies plus the
+# faulty (deaths + shed + autoscale) scenario.  The speedup thresholds live
+# in the perf-marked suite; this gate is about the bitwise trajectory parity
+# the harness asserts between the sharded fleet DES and its frozen naive
+# baseline on every commit.
+step "fleet perf smoke (benchmarks/perf/test_perf_fleet.py::test_fleet_smoke)"
+python -m pytest "benchmarks/perf/test_perf_fleet.py::test_fleet_smoke" -q -m perf || failures=$((failures + 1))
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAIL ($failures step(s) failed)"

@@ -51,7 +51,9 @@ class LintConfig:
     # dtypes (see tests/test_vector_batch.py).
     dtype_prefixes: Tuple[str, ...] = ("src/repro/vector",)
     dtype_files: Tuple[str, ...] = (
+        "src/repro/inference/fleet.py",
         "src/repro/inference/kvcache.py",
+        "src/repro/inference/router.py",
         "src/repro/llm/embedding.py",
         "src/repro/prep/dedup.py",
     )

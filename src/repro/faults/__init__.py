@@ -6,7 +6,7 @@ actually happen inside the simulators, reproducibly:
 
 * :class:`FaultPlan` / :class:`FaultEvent` — a seeded, time-sorted schedule
   of typed faults (:data:`GPU_CRASH`, :data:`KV_TRANSFER_FAIL`,
-  :data:`KV_DEGRADED`, :data:`RANK_DEATH`);
+  :data:`KV_DEGRADED`, :data:`RANK_DEATH`, :data:`REPLICA_DEATH`);
 * :class:`FaultInjector` — a deliver-once cursor simulators poll as their
   clock advances;
 * :class:`RetryPolicy` — the shared capped-exponential-backoff rule for
@@ -28,6 +28,7 @@ from .plan import (
     KV_DEGRADED,
     KV_TRANSFER_FAIL,
     RANK_DEATH,
+    REPLICA_DEATH,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -40,6 +41,7 @@ __all__ = [
     "KV_DEGRADED",
     "KV_TRANSFER_FAIL",
     "RANK_DEATH",
+    "REPLICA_DEATH",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

@@ -35,8 +35,18 @@ KV_TRANSFER_FAIL = "kv_transfer_fail"
 KV_DEGRADED = "kv_degraded"
 #: A training rank dies mid-step; the run restores from the last checkpoint.
 RANK_DEATH = "rank_death"
+#: A whole serving replica drops out of the fleet: its queue, KV, and prefix
+#: caches are lost and every in-flight request must be re-routed to a
+#: surviving replica (see ``inference.fleet``).
+REPLICA_DEATH = "replica_death"
 
-FAULT_KINDS: Tuple[str, ...] = (GPU_CRASH, KV_TRANSFER_FAIL, KV_DEGRADED, RANK_DEATH)
+FAULT_KINDS: Tuple[str, ...] = (
+    GPU_CRASH,
+    KV_TRANSFER_FAIL,
+    KV_DEGRADED,
+    RANK_DEATH,
+    REPLICA_DEATH,
+)
 
 
 @dataclass(frozen=True)

@@ -23,10 +23,30 @@ from .eviction import (
     LFUPolicy,
     LRUPolicy,
 )
+from .fleet import (
+    AutoscalePolicy,
+    ClusterFleet,
+    EngineFleet,
+    FleetReport,
+    FleetResult,
+    FleetWorkload,
+    ReplicaModel,
+    fleet_poisson_workload,
+    summarize_fleet,
+)
 from .kvcache import KVStats, PagedAllocator, ReservedAllocator
 from .metrics import ServingReport, summarize
 from .prefix import PrefixCacheSimulator, PrefixReport, compare_policies
 from .request import SLO, Request
+from .router import (
+    ROUTER_NAMES,
+    LeastLoadedRouter,
+    PrefixAwareRouter,
+    RandomRouter,
+    Router,
+    RouterState,
+    make_router,
+)
 from .scheduler import (
     ContinuousBatchScheduler,
     ShortestJobFirstScheduler,
@@ -46,10 +66,14 @@ __all__ = [
     "TransferModel", "simulate_colocated", "simulate_disaggregated", "sweep_splits",
     "POLICIES", "AllOrNothingPolicy", "CacheEntry", "DependencyTreePolicy",
     "EvictionPolicy", "KVEntryCache", "LFUPolicy", "LRUPolicy",
+    "AutoscalePolicy", "ClusterFleet", "EngineFleet", "FleetReport", "FleetResult",
+    "FleetWorkload", "ReplicaModel", "fleet_poisson_workload", "summarize_fleet",
     "KVStats", "PagedAllocator", "ReservedAllocator",
     "ServingReport", "summarize",
     "PrefixCacheSimulator", "PrefixReport", "compare_policies",
     "SLO", "Request",
+    "ROUTER_NAMES", "LeastLoadedRouter", "PrefixAwareRouter", "RandomRouter",
+    "Router", "RouterState", "make_router",
     "ContinuousBatchScheduler", "ShortestJobFirstScheduler", "IterationCost", "ServingEngine", "StaticBatchScheduler",
     "LengthDistribution", "multi_turn_workload", "poisson_workload", "shared_prefix_workload",
 ]

@@ -19,8 +19,10 @@ class ServingReport:
     throughput_rps: float
     output_tokens_per_s: float
     ttft_p50: float
+    ttft_p95: float
     ttft_p99: float
     tbt_p50: float
+    tbt_p95: float
     tbt_p99: float
     max_tbt_p99: float
     slo_attainment: float
@@ -37,7 +39,9 @@ class ServingReport:
             "throughput_rps": round(self.throughput_rps, 3),
             "out_tok_per_s": round(self.output_tokens_per_s, 1),
             "ttft_p50_s": round(self.ttft_p50, 4),
+            "ttft_p95_s": round(self.ttft_p95, 4),
             "ttft_p99_s": round(self.ttft_p99, 4),
+            "tbt_p95_s": round(self.tbt_p95, 4),
             "tbt_p99_s": round(self.tbt_p99, 4),
             "slo_attainment": round(self.slo_attainment, 3),
             "goodput_rps": round(self.goodput_rps, 3),
@@ -54,8 +58,8 @@ def summarize(
         return ServingReport(
             requests=len(requests), completed=0, makespan_s=0.0,
             throughput_rps=0.0, output_tokens_per_s=0.0,
-            ttft_p50=float("inf"), ttft_p99=float("inf"),
-            tbt_p50=float("inf"), tbt_p99=float("inf"),
+            ttft_p50=float("inf"), ttft_p95=float("inf"), ttft_p99=float("inf"),
+            tbt_p50=float("inf"), tbt_p95=float("inf"), tbt_p99=float("inf"),
             max_tbt_p99=float("inf"), slo_attainment=0.0, goodput_rps=0.0,
             rejected=rejected,
         )
@@ -75,8 +79,10 @@ def summarize(
         throughput_rps=len(completed) / makespan,
         output_tokens_per_s=out_tokens / makespan,
         ttft_p50=percentile(ttfts, 50) if ttfts else float("inf"),
+        ttft_p95=percentile(ttfts, 95) if ttfts else float("inf"),
         ttft_p99=percentile(ttfts, 99) if ttfts else float("inf"),
         tbt_p50=percentile(tbts, 50) if tbts else 0.0,
+        tbt_p95=percentile(tbts, 95) if tbts else 0.0,
         tbt_p99=percentile(tbts, 99) if tbts else 0.0,
         max_tbt_p99=percentile(max_tbts, 99) if max_tbts else 0.0,
         slo_attainment=attained / len(completed),

@@ -37,6 +37,11 @@ from ..faults import GPU_CRASH, FaultEvent, FaultInjector, FaultPlan, RetryPolic
 from .kvcache import PagedAllocator, ReservedAllocator
 from .request import SLO, Request
 
+#: :meth:`ServingEngine.step` outcomes (see its docstring).
+STEP_RAN = "ran"
+STEP_ADVANCED = "advanced"
+STEP_IDLE = "idle"
+
 
 @dataclass(frozen=True)
 class IterationCost:
@@ -259,6 +264,7 @@ class ServingEngine:
         self.now = 0.0
         self.iterations = 0
         self.busy_s = 0.0
+        self.completed_total = 0
         self.retries = 0
         self.rejected = 0
         self.downtime_s = 0.0
@@ -461,118 +467,144 @@ class ServingEngine:
             self.scheduler.on_decode_ready(seq)
 
     # ------------------------------------------------------------ main loop
+    def step(self, pending: Deque[Request]) -> str:
+        """One trip through the discrete-event loop.
+
+        ``pending`` is the engine's arrival queue (sorted by ``arrival_s``);
+        callers that feed requests incrementally (the fleet layer) own the
+        deque and push routed arrivals onto it between steps.  Returns one of
+
+        * :data:`STEP_RAN` — an iteration executed and the clock advanced by
+          its latency;
+        * :data:`STEP_ADVANCED` — nothing was runnable, so the clock jumped
+          to the next arrival / retry-ready time;
+        * :data:`STEP_IDLE` — no running, queued, preempted, or retrying
+          work remains: the engine is drained.
+
+        ``run`` is exactly a loop over this method, so fleet-driven replicas
+        follow bit-identical trajectories to a standalone engine.
+        """
+        if self._injector is not None:
+            self._deliver_faults()
+        self._try_admit(pending)
+        if not self.running:
+            if not pending and not self._preempted and not self._retry_queue:
+                return STEP_IDLE
+            if pending or self._retry_queue:
+                next_times = []
+                if pending:
+                    next_times.append(pending[0].arrival_s)
+                if self._retry_queue:
+                    next_times.append(self._retry_queue[0][0])
+                target = min(next_times)
+                if not pending and target <= self.now:
+                    raise SchedulerError(
+                        "retried sequences can never be re-admitted (KV too small)"
+                    )
+                self.now = max(self.now, target)
+                return STEP_ADVANCED
+            raise SchedulerError(
+                "preempted sequences can never be re-admitted (KV too small)"
+            )
+        prefill_work, decoding = self.scheduler.plan_iteration(self)
+        prefill_tokens = sum(tokens for _, tokens in prefill_work)
+        iter_time = self.cost.time(prefill_tokens, len(decoding))
+        if iter_time <= 0:
+            raise SchedulerError("scheduler produced an empty iteration")
+        self.now += iter_time
+        self.busy_s += iter_time
+        self.iterations += 1
+        if self.allocator is not None:
+            self.allocator.stats.observe()
+        # Predict this iteration's KV appends (first tokens of completing
+        # prefills, then one per decoding sequence — the order the
+        # sequential path issues them in). If the allocator can take them
+        # all, skip per-sequence calls and pressure handling entirely.
+        append_pairs: List[Tuple[str, int]] = [
+            (seq.request.request_id, 1)
+            for seq, tokens in prefill_work
+            if tokens == seq.prefill_remaining and seq.decoded == 0
+        ]
+        append_pairs.extend((seq.request.request_id, 1) for seq in decoding)
+        batch_append = None
+        if self.allocator is not None:
+            can_all = getattr(self.allocator, "can_append_all", None)
+            if can_all is not None and can_all(append_pairs):
+                batch_append = self.allocator.append_many
+        if self.allocator is None or batch_append is not None:
+            # Fast path: no memory pressure possible, so no sequence can
+            # be preempted mid-iteration and the membership rechecks the
+            # sequential path needs are vacuous.
+            for seq, tokens in prefill_work:
+                seq.prefill_remaining -= tokens
+                if not seq.prefilling:
+                    if seq.decoded == 0:
+                        seq.request.first_token_s = self.now
+                        seq.request.token_times.append(self.now)
+                        seq.decoded = 1
+                    self._finish_prefill(seq)
+            for seq in decoding:
+                seq.decoded += 1
+                seq.request.token_times.append(self.now)
+                if not seq.finished:
+                    self.scheduler.on_decode_ready(seq)
+            if batch_append is not None:
+                batch_append(append_pairs)
+        else:
+            # Pressure path: identical to the original per-sequence loop,
+            # including preemption interleaved between appends.
+            for seq, tokens in prefill_work:
+                request_id = seq.request.request_id
+                if request_id not in self.running:
+                    continue  # preempted earlier in this iteration
+                seq.prefill_remaining -= tokens
+                if not seq.prefilling:
+                    if seq.decoded == 0:
+                        seq.request.first_token_s = self.now
+                        seq.request.token_times.append(self.now)
+                        seq.decoded = 1
+                        self._safe_append(request_id, 1)
+                    if request_id in self.running:
+                        self._finish_prefill(seq)
+            for seq in decoding:
+                request_id = seq.request.request_id
+                if request_id not in self.running:
+                    continue  # preempted earlier in this iteration
+                seq.decoded += 1
+                seq.request.token_times.append(self.now)
+                self._safe_append(request_id, 1)
+                if request_id in self.running and not seq.finished:
+                    self.scheduler.on_decode_ready(seq)
+        # Retire finished sequences (they all sit in the decode set).
+        finished_ids = [
+            rid for rid, seq in self._decoding.items() if seq.finished
+        ]
+        for request_id in finished_ids:
+            seq = self._decoding.pop(request_id)
+            self.running.pop(request_id, None)
+            seq.request.finished_s = self.now
+            self.completed_total += 1
+            if self.allocator is not None:
+                if self.keep_prefix_on_release and isinstance(
+                    self.allocator, PagedAllocator
+                ):
+                    self.allocator.release(request_id, keep_for_prefix=True)
+                else:
+                    self.allocator.release(request_id)
+        return STEP_RAN
+
     def run(self, requests: Sequence[Request]) -> List[Request]:
         """Simulate to completion; returns the requests with timelines filled."""
         pending: Deque[Request] = deque(sorted(requests, key=lambda r: r.arrival_s))
         total = len(pending)
-        completed = 0
+        completed_start = self.completed_total
         rejected_start = self.rejected
-        while completed + (self.rejected - rejected_start) < total:
-            if self._injector is not None:
-                self._deliver_faults()
-            self._try_admit(pending)
-            if not self.running:
-                if not pending and not self._preempted and not self._retry_queue:
-                    break
-                if pending or self._retry_queue:
-                    next_times = []
-                    if pending:
-                        next_times.append(pending[0].arrival_s)
-                    if self._retry_queue:
-                        next_times.append(self._retry_queue[0][0])
-                    target = min(next_times)
-                    if not pending and target <= self.now:
-                        raise SchedulerError(
-                            "retried sequences can never be re-admitted (KV too small)"
-                        )
-                    self.now = max(self.now, target)
-                    continue
-                raise SchedulerError(
-                    "preempted sequences can never be re-admitted (KV too small)"
-                )
-            prefill_work, decoding = self.scheduler.plan_iteration(self)
-            prefill_tokens = sum(tokens for _, tokens in prefill_work)
-            iter_time = self.cost.time(prefill_tokens, len(decoding))
-            if iter_time <= 0:
-                raise SchedulerError("scheduler produced an empty iteration")
-            self.now += iter_time
-            self.busy_s += iter_time
-            self.iterations += 1
-            if self.allocator is not None:
-                self.allocator.stats.observe()
-            # Predict this iteration's KV appends (first tokens of completing
-            # prefills, then one per decoding sequence — the order the
-            # sequential path issues them in). If the allocator can take them
-            # all, skip per-sequence calls and pressure handling entirely.
-            append_pairs: List[Tuple[str, int]] = [
-                (seq.request.request_id, 1)
-                for seq, tokens in prefill_work
-                if tokens == seq.prefill_remaining and seq.decoded == 0
-            ]
-            append_pairs.extend((seq.request.request_id, 1) for seq in decoding)
-            batch_append = None
-            if self.allocator is not None:
-                can_all = getattr(self.allocator, "can_append_all", None)
-                if can_all is not None and can_all(append_pairs):
-                    batch_append = self.allocator.append_many
-            if self.allocator is None or batch_append is not None:
-                # Fast path: no memory pressure possible, so no sequence can
-                # be preempted mid-iteration and the membership rechecks the
-                # sequential path needs are vacuous.
-                for seq, tokens in prefill_work:
-                    seq.prefill_remaining -= tokens
-                    if not seq.prefilling:
-                        if seq.decoded == 0:
-                            seq.request.first_token_s = self.now
-                            seq.request.token_times.append(self.now)
-                            seq.decoded = 1
-                        self._finish_prefill(seq)
-                for seq in decoding:
-                    seq.decoded += 1
-                    seq.request.token_times.append(self.now)
-                    if not seq.finished:
-                        self.scheduler.on_decode_ready(seq)
-                if batch_append is not None:
-                    batch_append(append_pairs)
-            else:
-                # Pressure path: identical to the original per-sequence loop,
-                # including preemption interleaved between appends.
-                for seq, tokens in prefill_work:
-                    request_id = seq.request.request_id
-                    if request_id not in self.running:
-                        continue  # preempted earlier in this iteration
-                    seq.prefill_remaining -= tokens
-                    if not seq.prefilling:
-                        if seq.decoded == 0:
-                            seq.request.first_token_s = self.now
-                            seq.request.token_times.append(self.now)
-                            seq.decoded = 1
-                            self._safe_append(request_id, 1)
-                        if request_id in self.running:
-                            self._finish_prefill(seq)
-                for seq in decoding:
-                    request_id = seq.request.request_id
-                    if request_id not in self.running:
-                        continue  # preempted earlier in this iteration
-                    seq.decoded += 1
-                    seq.request.token_times.append(self.now)
-                    self._safe_append(request_id, 1)
-                    if request_id in self.running and not seq.finished:
-                        self.scheduler.on_decode_ready(seq)
-            # Retire finished sequences (they all sit in the decode set).
-            finished_ids = [
-                rid for rid, seq in self._decoding.items() if seq.finished
-            ]
-            for request_id in finished_ids:
-                seq = self._decoding.pop(request_id)
-                self.running.pop(request_id, None)
-                seq.request.finished_s = self.now
-                completed += 1
-                if self.allocator is not None:
-                    if self.keep_prefix_on_release and isinstance(
-                        self.allocator, PagedAllocator
-                    ):
-                        self.allocator.release(request_id, keep_for_prefix=True)
-                    else:
-                        self.allocator.release(request_id)
+        while (
+            self.completed_total
+            - completed_start
+            + (self.rejected - rejected_start)
+            < total
+        ):
+            if self.step(pending) == STEP_IDLE:
+                break
         return list(requests)

@@ -378,6 +378,57 @@ class TestDisaggregationEdgeCases:
         report = summarize(never_run)
         assert report.completed == 0 and report.mean_retries == 0.0
         assert report.row()["goodput_rps"] == 0.0
+        assert report.ttft_p95 == float("inf") and report.tbt_p95 == float("inf")
+
+
+class TestServingPercentiles:
+    """The full p50/p95/p99 ladder for TTFT and TBT on crafted timelines."""
+
+    @staticmethod
+    def _served(i, ttft, gaps):
+        r = Request(
+            request_id=f"r{i}", arrival_s=0.0,
+            prompt_tokens=8, output_tokens=len(gaps) + 1,
+        )
+        r.admitted_s = 0.0
+        times = [ttft]
+        for gap in gaps:
+            times.append(times[-1] + gap)
+        r.first_token_s = ttft
+        r.token_times = times
+        r.finished_s = times[-1]
+        return r
+
+    def test_ttft_percentiles_match_reference(self):
+        from repro.utils import percentile
+
+        ttfts = [0.01 * (i + 1) for i in range(100)]
+        requests = [self._served(i, t, [0.005]) for i, t in enumerate(ttfts)]
+        report = summarize(requests)
+        assert report.ttft_p50 == percentile(ttfts, 50)
+        assert report.ttft_p95 == percentile(ttfts, 95)
+        assert report.ttft_p99 == percentile(ttfts, 99)
+        assert report.ttft_p50 <= report.ttft_p95 <= report.ttft_p99
+
+    def test_tbt_percentiles_match_reference(self):
+        from repro.utils import percentile
+
+        # Request i streams with a constant gap of (i+1) ms between tokens.
+        requests = [
+            self._served(i, 0.1, [0.001 * (i + 1)] * 4) for i in range(50)
+        ]
+        gaps = [g for r in requests for g in r.tbt_values]
+        report = summarize(requests)
+        assert report.tbt_p50 == percentile(gaps, 50)
+        assert report.tbt_p95 == percentile(gaps, 95)
+        assert report.tbt_p99 == percentile(gaps, 99)
+        assert report.tbt_p50 <= report.tbt_p95 <= report.tbt_p99
+
+    def test_row_carries_the_ladder(self):
+        requests = [self._served(0, 0.2, [0.01, 0.02])]
+        row = summarize(requests).row()
+        for key in ("ttft_p50_s", "ttft_p95_s", "ttft_p99_s", "tbt_p95_s", "tbt_p99_s"):
+            assert key in row
 
 
 class TestEvictionPolicies:
