@@ -63,6 +63,14 @@ python -m pytest "benchmarks/perf/test_perf_prep.py::test_prep_smoke" -q -m perf
 step "fleet perf smoke (benchmarks/perf/test_perf_fleet.py::test_fleet_smoke)"
 python -m pytest "benchmarks/perf/test_perf_fleet.py::test_fleet_smoke" -q -m perf || failures=$((failures + 1))
 
+# Semopt perf smoke: tiny-scale run of both semantic-pipeline shapes
+# (cascade and join/topk/group-count) against the frozen naive executor.
+# The speedup thresholds live in the perf-marked suite; this gate is about
+# the identical-output assertions (survivors, mapped fields, aggregates)
+# the harness performs inside every case on every commit.
+step "semopt perf smoke (benchmarks/perf/test_perf_semopt.py::test_semopt_smoke)"
+python -m pytest "benchmarks/perf/test_perf_semopt.py::test_semopt_smoke" -q -m perf || failures=$((failures + 1))
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAIL ($failures step(s) failed)"

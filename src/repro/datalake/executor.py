@@ -24,8 +24,11 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..data.table import Table
 from ..errors import ExecutionError, PlanError
+from ..llm.cost import Usage
 from ..llm.model import SimLLM
 from ..rag.pipeline import RAGPipeline
+from ..semopt import SemExecutor, SemFilter, SemPipeline
+from ..unstructured.operators import SemanticOperators
 from ..unstructured.query import _string_predicate
 from ..unstructured.schema_extract import EvaporateExtractor
 from .catalog import DataLake
@@ -38,7 +41,13 @@ Value = Union[Table, str, float, int]
 
 @dataclass
 class ExecutionTrace:
-    """Per-query execution record."""
+    """Per-query execution record.
+
+    ``llm_calls``/``usd`` are deltas of the model's usage ledger over the
+    whole ask; ``usage_by_tag`` breaks the same window down per ledger tag
+    (planner, executor ops, RAG, ...), so the parts provably sum to the
+    totals.
+    """
 
     question: str
     answer: str
@@ -48,6 +57,7 @@ class ExecutionTrace:
     usd: float = 0.0
     failed: bool = False
     failure: str = ""
+    usage_by_tag: Dict[str, Usage] = field(default_factory=dict)
 
 
 class PlanExecutor:
@@ -63,6 +73,9 @@ class PlanExecutor:
         self.lake = lake
         self.llm = llm
         self.extractor = extractor or EvaporateExtractor(llm)
+        self.sem_executor = SemExecutor(
+            SemanticOperators(llm), tag_prefix="lake.semopt"
+        )
         self._view_cache: Dict[Tuple[str, Tuple[str, ...]], Table] = {}
         self._rag_cache: Dict[str, RAGPipeline] = {}
 
@@ -161,6 +174,32 @@ class PlanExecutor:
             _string_predicate(f, str(step.params["op"]), str(step.params["value"]))
         )
 
+    def _op_sem_filter(self, step: PlanStep, values: Dict[str, Value]) -> Table:
+        """Natural-language predicate filter, routed through the optimizer.
+
+        Rows become string records and run as a one-step semantic pipeline:
+        the :mod:`repro.semopt` executor supplies the batched proxy/judge
+        kernels and the exact cross-operator cache (duplicate rows charge
+        one judge call), so lake-scale semantic filters pay per *unique*
+        uncertain row instead of per row.
+        """
+        table = self._input_table(step, values, 0)
+        predicate = str(step.params["predicate"])
+        cascade = bool(step.params.get("cascade", True))
+        records = [
+            {key: str(value) for key, value in row.items() if value is not None}
+            for row in table.rows
+        ]
+        result = self.sem_executor.run(
+            records, SemPipeline([SemFilter(predicate, cascade=cascade)])
+        )
+        kept_positions = {id(record) for record in result.records}
+        filtered = Table(table.name, table.schema)
+        for row, record in zip(table.rows, records):
+            if id(record) in kept_positions:
+                filtered.insert(dict(row))
+        return filtered
+
     def _op_join(self, step: PlanStep, values: Dict[str, Value]) -> Table:
         left = self._input_table(step, values, 0)
         right = self._input_table(step, values, 1)
@@ -246,21 +285,23 @@ class LakeAnalytics:
 
     def ask(self, question: str, *, reflect: bool = True) -> ExecutionTrace:
         """Answer one analytics question with reflection-on-failure."""
-        calls_before = self.llm.usage.calls
-        usd_before = self.llm.usage.usd
+        total_before = self.llm.ledger.total
+        tags_before = dict(self.llm.ledger.by_tag)
         plan, groundings = self.planner.plan(question)
         attempts = 1
         last_error = ""
         for _ in range(self.max_reflections + 1):
             try:
                 answer = self.executor.execute(plan)
+                usage = self.llm.ledger.total - total_before
                 return ExecutionTrace(
                     question=question,
                     answer=answer,
                     plan=plan,
                     attempts=attempts,
-                    llm_calls=self.llm.usage.calls - calls_before,
-                    usd=self.llm.usage.usd - usd_before,
+                    llm_calls=usage.calls,
+                    usd=usage.usd,
+                    usage_by_tag=self._tag_deltas(tags_before),
                 )
             except ExecutionError as exc:
                 last_error = str(exc)
@@ -276,16 +317,27 @@ class LakeAnalytics:
                 except PlanError:
                     break
                 attempts += 1
+        usage = self.llm.ledger.total - total_before
         return ExecutionTrace(
             question=question,
             answer="unknown",
             plan=plan,
             attempts=attempts,
-            llm_calls=self.llm.usage.calls - calls_before,
-            usd=self.llm.usage.usd - usd_before,
+            llm_calls=usage.calls,
+            usd=usage.usd,
             failed=True,
             failure=last_error,
+            usage_by_tag=self._tag_deltas(tags_before),
         )
+
+    def _tag_deltas(self, tags_before: Dict[str, Usage]) -> Dict[str, Usage]:
+        """Non-zero per-tag usage charged since the ``tags_before`` snapshot."""
+        deltas: Dict[str, Usage] = {}
+        for tag, after in self.llm.ledger.by_tag.items():
+            delta = after - tags_before.get(tag, Usage())
+            if delta.calls or delta.usd:
+                deltas[tag] = delta
+        return deltas
 
     @staticmethod
     def _failing_etype(

@@ -1,9 +1,11 @@
 """Plan representation for data-lake analytics queries.
 
 A :class:`Plan` is a small DAG of typed operator steps (scan, extract,
-filter, join, aggregate, lookup) — the "predefined semantic operators"
-orchestration style of iDataLake [60] / CAESURA [53]. Plans are produced by
-``repro.datalake.planner`` and interpreted by ``repro.datalake.executor``.
+filter, sem_filter, join, aggregate, lookup) — the "predefined semantic
+operators" orchestration style of iDataLake [60] / CAESURA [53]. Plans are
+produced by ``repro.datalake.planner`` and interpreted by
+``repro.datalake.executor``; ``sem_filter`` rows route through the
+cost-based :mod:`repro.semopt` executor (batched judges, exact cache).
 """
 
 from __future__ import annotations
@@ -13,7 +15,16 @@ from typing import Dict, List, Optional
 
 from ..errors import PlanError
 
-OPS = {"scan", "extract", "filter", "join", "aggregate", "lookup", "project"}
+OPS = {
+    "scan",
+    "extract",
+    "filter",
+    "sem_filter",
+    "join",
+    "aggregate",
+    "lookup",
+    "project",
+}
 
 
 @dataclass

@@ -18,7 +18,7 @@ take a ``CachedLLM`` unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -186,6 +186,29 @@ class CachedLLM:
             self._insert_order.append((parsed.task, key))
             self._evict_if_needed()
         return response
+
+    def generate_many(
+        self,
+        prompts: Sequence[str],
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> List[LLMResponse]:
+        """Batched interface parity with :meth:`SimLLM.generate_many`.
+
+        Processes prompts sequentially through the cache so semantic-hit
+        behaviour is *exactly* the looped ``generate`` semantics (an early
+        miss in the batch may serve a later prompt semantically); duplicate
+        prompts within one batch hit the exact layer after their first
+        occurrence, so the backing model is charged once per unique miss.
+        """
+        return [
+            self.generate(
+                prompt, max_tokens=max_tokens, temperature=temperature, tag=tag
+            )
+            for prompt in prompts
+        ]
 
     def _semantic_lookup(
         self, task: str, input_text: str, *, max_tokens: int, temperature: float

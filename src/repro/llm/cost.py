@@ -35,6 +35,16 @@ class Usage:
             calls=self.calls + other.calls,
         )
 
+    def __sub__(self, other: "Usage") -> "Usage":
+        """Delta between two cumulative snapshots (for per-tag attribution)."""
+        return Usage(
+            input_tokens=self.input_tokens - other.input_tokens,
+            output_tokens=self.output_tokens - other.output_tokens,
+            latency_s=self.latency_s - other.latency_s,
+            usd=self.usd - other.usd,
+            calls=self.calls - other.calls,
+        )
+
     @property
     def total_tokens(self) -> int:
         return self.input_tokens + self.output_tokens

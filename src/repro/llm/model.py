@@ -15,7 +15,7 @@ can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..data.ngram import NGramLM
@@ -125,13 +125,88 @@ class SimLLM:
             )
         parsed = parse_prompt(prompt)
         text, meta = self._dispatch(parsed, temperature)
-        output_tokens = min(max(self.tokenizer.count(text), 1), max_tokens)
+        text, output_tokens = self._cap_output(text, max_tokens)
         usage = self.spec.cost.usage(input_tokens, output_tokens)
         self.ledger.charge(usage, tag=tag)
         self._call_log.append(
             {"task": parsed.task, "tag": tag, "tokens": usage.total_tokens}
         )
         return LLMResponse(text=text, usage=usage, meta=meta)
+
+    def _cap_output(self, text: str, max_tokens: int) -> Tuple[str, int]:
+        """Apply the ``max_tokens`` cap to a skill reply.
+
+        The returned text always agrees with the charged token count: a
+        reply longer than the cap is truncated to the first ``max_tokens``
+        tokens (as a real decode loop stops emitting), never returned whole
+        while only ``max_tokens`` are billed.
+        """
+        output_tokens = self.tokenizer.count(text)
+        if output_tokens > max_tokens:
+            return self.tokenizer.truncate(text, max_tokens), max_tokens
+        return text, max(output_tokens, 1)
+
+    def generate_many(
+        self,
+        prompts: Sequence[str],
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> List[LLMResponse]:
+        """Run one model call per prompt, amortizing per-call overhead.
+
+        Bit-identical to ``[generate(p, ...) for p in prompts]`` — same
+        response texts, usage records, ledger history, and call log — but
+        batched: token counting runs as two ``count_many`` passes (inputs,
+        then outputs), and prompt parsing, skill dispatch, and the seeded
+        RNG derivation run once per *unique* prompt (duplicates replay the
+        deterministic result instead of re-deriving it).  The ledger is
+        still charged once per prompt, so budgets and per-tag attribution
+        see every call.
+
+        One contract difference from the loop: prompts are validated
+        against the context window up front, so an oversized prompt raises
+        before *any* prompt in the batch is charged (the loop would charge
+        the prompts preceding the offender).
+        """
+        if max_tokens <= 0:
+            raise ModelError(f"max_tokens must be positive, got {max_tokens}")
+        prompt_list = list(prompts)
+        if not prompt_list:
+            return []
+        input_counts = self.tokenizer.count_many(prompt_list)
+        for input_tokens in input_counts:
+            if input_tokens > self.spec.context_window:
+                raise ModelError(
+                    f"prompt of {input_tokens} tokens exceeds context window "
+                    f"{self.spec.context_window} of {self.spec.name}"
+                )
+        unique_index: Dict[str, int] = {}
+        for prompt in prompt_list:
+            unique_index.setdefault(prompt, len(unique_index))
+        unique_prompts = list(unique_index)
+        parsed_list = [parse_prompt(prompt) for prompt in unique_prompts]
+        raw_outputs = [self._dispatch(parsed, temperature) for parsed in parsed_list]
+        output_counts = self.tokenizer.count_many([text for text, _ in raw_outputs])
+        capped: List[Tuple[str, int, Dict[str, object], str]] = []
+        for parsed, (text, meta), output_tokens in zip(
+            parsed_list, raw_outputs, output_counts
+        ):
+            if output_tokens > max_tokens:
+                text = self.tokenizer.truncate(text, max_tokens)
+                output_tokens = max_tokens
+            capped.append((text, max(output_tokens, 1), meta, parsed.task))
+        responses: List[LLMResponse] = []
+        for prompt, input_tokens in zip(prompt_list, input_counts):
+            text, output_tokens, meta, task = capped[unique_index[prompt]]
+            usage = self.spec.cost.usage(input_tokens, output_tokens)
+            self.ledger.charge(usage, tag=tag)
+            self._call_log.append(
+                {"task": task, "tag": tag, "tokens": usage.total_tokens}
+            )
+            responses.append(LLMResponse(text=text, usage=usage, meta=dict(meta)))
+        return responses
 
     def _dispatch(
         self, parsed: ParsedPrompt, temperature: float

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -128,6 +128,92 @@ def evaluate_predicate(predicate: str, record: Dict[str, str]) -> Optional[bool]
         options = [part.strip().strip("'\"").lower() for part in literal.split(",")]
         return actual.strip().lower() in options
     return None
+
+
+def predicate_field(predicate: str) -> Optional[str]:
+    """The record field a ``field op literal`` predicate reads, if it parses.
+
+    Used by planners to decide whether a rule predicate commutes with an
+    operator that writes a field (it does iff the fields differ).
+    """
+    match = _PREDICATE_RE.match(predicate.strip())
+    return match.group("field") if match is not None else None
+
+
+def compile_predicate(
+    predicate: str,
+) -> Optional[Callable[[Dict[str, str]], Optional[bool]]]:
+    """Pre-parse ``field op literal`` into a per-record evaluator.
+
+    Returns ``None`` when the predicate itself does not parse (every record
+    is then undecidable, exactly as :func:`evaluate_predicate` reports).
+    The returned closure is equivalent to
+    ``evaluate_predicate(predicate, record)`` for every record — it just
+    hoists the regex parse and literal normalization out of per-row loops,
+    which matters when a predicate cascade runs over millions of rows.
+    """
+    match = _PREDICATE_RE.match(predicate.strip())
+    if match is None:
+        return None
+    field = match.group("field")
+    op = match.group("op")
+    literal = match.group("value").strip().strip("'\"")
+
+    if op in {">", "<", ">=", "<="}:
+        literal_numeric = _NUMERIC_RE.match(literal) is not None
+        bound = float(literal) if literal_numeric else 0.0
+
+        def numeric_eval(record: Dict[str, str]) -> Optional[bool]:
+            actual = record.get(field)
+            if actual is None:
+                return None
+            if not (literal_numeric and _NUMERIC_RE.match(actual)):
+                return None
+            a = float(actual)
+            if op == "<":
+                return a < bound
+            if op == ">":
+                return a > bound
+            if op == "<=":
+                return a <= bound
+            return a >= bound
+
+        return numeric_eval
+
+    lowered = literal.lower()
+    if op in {"==", "!="}:
+        want_equal = op == "=="
+
+        def equality_eval(record: Dict[str, str]) -> Optional[bool]:
+            actual = record.get(field)
+            if actual is None:
+                return None
+            equal = actual.strip().lower() == lowered
+            return equal if want_equal else not equal
+
+        return equality_eval
+
+    if op == "contains":
+
+        def contains_eval(record: Dict[str, str]) -> Optional[bool]:
+            actual = record.get(field)
+            if actual is None:
+                return None
+            return lowered in actual.lower()
+
+        return contains_eval
+
+    options = frozenset(
+        part.strip().strip("'\"").lower() for part in literal.split(",")
+    )
+
+    def membership_eval(record: Dict[str, str]) -> Optional[bool]:
+        actual = record.get(field)
+        if actual is None:
+            return None
+        return actual.strip().lower() in options
+
+    return membership_eval
 
 
 @dataclass

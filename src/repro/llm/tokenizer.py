@@ -121,6 +121,27 @@ class Tokenizer:
             for text in texts
         ]
 
+    def truncate(self, text: str, max_tokens: int) -> str:
+        """Longest prefix of ``text`` containing at most ``max_tokens`` tokens.
+
+        Cuts on piece boundaries, so the result re-tokenizes to exactly the
+        kept pieces: word chunks are only ever merged back into the same
+        fixed-size splits, whitespace runs count as zero either way.  Used
+        by the simulated model to make a ``max_tokens``-capped reply's text
+        agree with its charged ``output_tokens``.
+        """
+        if max_tokens <= 0:
+            raise TokenizerError(f"max_tokens must be positive, got {max_tokens}")
+        kept: List[str] = []
+        count = 0
+        for piece in self.pieces(text):
+            if not piece.isspace():
+                if count == max_tokens:
+                    break
+                count += 1
+            kept.append(piece)
+        return "".join(kept)
+
     def content_tokens(self, text: str) -> List[str]:
         """Lower-cased non-whitespace, non-punctuation pieces (for embeddings).
 

@@ -1,0 +1,167 @@
+"""Cross-operator semantic-call cache (exact layer only).
+
+Within one optimized pipeline run, different operators frequently render
+the *same* prompt text — duplicate rows reaching a judge, a map re-applied
+after a reorder, a join probing a pair twice.  Because the simulated model
+is a deterministic function of ``(prompt, max_tokens, temperature)``,
+replaying a stored response is *bit-identical* to calling the model again,
+so an exact cache is an answer-preserving optimization — unlike the
+semantic (similarity) layer of :class:`~repro.llm.cache.CachedLLM`, which
+trades accuracy for savings and is therefore deliberately absent here.
+
+:class:`CrossOpCache` is a drop-in ``SimLLM`` wrapper (same duck type as
+``CachedLLM``): components read ``embedder``/``ledger``/``spec`` through
+it and call ``generate``/``generate_many``.  Cache hits charge nothing, so
+ledger-delta accounting in :class:`~repro.unstructured.operators.OpStats`
+naturally reports only real calls; hit/miss traffic is surfaced via
+:class:`CrossOpCacheStats` (picked up by the operators' cache counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..llm.cost import Usage, UsageLedger
+from ..llm.embedding import EmbeddingModel
+from ..llm.hub import ModelSpec
+from ..llm.knowledge import KnowledgeBase
+from ..llm.model import LLMResponse, SimLLM
+from ..llm.tokenizer import Tokenizer
+from ..utils import stable_hash
+
+
+@dataclass
+class CrossOpCacheStats:
+    """Hit/miss accounting plus the spend the cache avoided."""
+
+    hits: int = 0
+    misses: int = 0
+    saved_usd: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CrossOpCache:
+    """Exact response cache shared by every operator of one pipeline run.
+
+    Keys are ``(prompt, max_tokens, temperature)`` — the full functional
+    input of the deterministic model — so a hit is guaranteed to equal the
+    response a fresh call would produce.
+    """
+
+    def __init__(self, llm: SimLLM) -> None:
+        self.llm = llm
+        self.stats = CrossOpCacheStats()
+        self._store: Dict[int, LLMResponse] = {}
+
+    # ---------------------------------------------------------- delegation
+    @property
+    def embedder(self) -> EmbeddingModel:
+        return self.llm.embedder
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        return self.llm.knowledge
+
+    @property
+    def usage(self) -> Usage:
+        return self.llm.usage
+
+    @property
+    def ledger(self) -> UsageLedger:
+        return self.llm.ledger
+
+    @property
+    def spec(self) -> ModelSpec:
+        return self.llm.spec
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self.llm.tokenizer
+
+    # ------------------------------------------------------------ generate
+    def generate(
+        self,
+        prompt: str,
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> LLMResponse:
+        """Serve from the exact store when possible; else call through."""
+        key = stable_hash(f"{prompt}|{max_tokens}|{temperature}")
+        cached = self._store.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self.stats.saved_usd += cached.usage.usd
+            return cached
+        response = self.llm.generate(
+            prompt, max_tokens=max_tokens, temperature=temperature, tag=tag
+        )
+        self.stats.misses += 1
+        self._store[key] = response
+        return response
+
+    def generate_many(
+        self,
+        prompts: Sequence[str],
+        *,
+        max_tokens: int = 256,
+        temperature: float = 0.0,
+        tag: str = "default",
+    ) -> List[LLMResponse]:
+        """Batched lookup: one backing ``generate_many`` over the misses.
+
+        Duplicates within the batch count as a miss on first occurrence and
+        hits afterwards, and the backing model is charged once per unique
+        miss in first-occurrence order — exactly what the looped
+        :meth:`generate` would charge, so ledger history and responses are
+        identical to the sequential semantics.
+        """
+        prompt_list = list(prompts)
+        keys = [
+            stable_hash(f"{prompt}|{max_tokens}|{temperature}")
+            for prompt in prompt_list
+        ]
+        missing: Dict[int, str] = {}
+        for prompt, key in zip(prompt_list, keys):
+            if key not in self._store and key not in missing:
+                missing[key] = prompt
+        if missing:
+            fetched = self.llm.generate_many(
+                list(missing.values()),
+                max_tokens=max_tokens,
+                temperature=temperature,
+                tag=tag,
+            )
+            first_seen = set(missing)
+            for key, response in zip(missing, fetched):
+                self._store[key] = response
+        else:
+            first_seen = set()
+        responses: List[LLMResponse] = []
+        for key in keys:
+            response = self._store[key]
+            if key in first_seen:
+                first_seen.discard(key)
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+                self.stats.saved_usd += response.usage.usd
+            responses.append(response)
+        return responses
+
+    # ---------------------------------------------------------- management
+    def invalidate(self) -> None:
+        """Drop all stored responses."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)

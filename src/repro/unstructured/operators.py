@@ -17,34 +17,58 @@ including ``text``) and apply LLM-powered relational semantics:
   aggregation.
 
 Every operator returns an :class:`OpStats` documenting LLM calls saved.
+
+All operators run on **batched kernels**: proxy embeddings go through
+``embed_batch`` over the *unique* record texts (verdicts broadcast back to
+duplicates), rule predicates are compiled once per operator
+(:func:`repro.llm.skills.compile_predicate`), and every LLM round is a
+single :meth:`~repro.llm.model.SimLLM.generate_many` call.  The per-record
+decisions are bit-identical to the historical one-call-per-record loop —
+the batching only amortizes tokenizer/parse/RNG overhead.
+
+``llm_calls``/``usd`` in :class:`OpStats` are **ledger deltas**: each
+operator snapshots the shared :class:`~repro.llm.cost.UsageLedger` entry
+for its ``tag`` before and after, so the numbers reflect what was actually
+charged (a cache hit that charges nothing is *not* an LLM call) and the
+per-operator sum always reconciles with the ledger total.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..llm.cost import Usage
 from ..llm.embedding import EmbeddingModel
 from ..llm.model import SimLLM
 from ..llm.protocol import Prompt
-from ..llm.skills import evaluate_predicate, parse_record
+from ..llm.skills import compile_predicate
 
 Record = Dict[str, str]
 
 
 @dataclass
 class OpStats:
-    """Per-operator accounting: where did decisions come from?"""
+    """Per-operator accounting: where did decisions come from?
+
+    ``llm_calls`` and ``usd`` are measured as deltas of the model's usage
+    ledger under the operator's tag — charged calls only.  ``cache_hits``
+    and ``cache_misses`` report cache-layer traffic when the operator runs
+    over a caching wrapper (``CachedLLM`` / ``CrossOpCache``); both stay 0
+    over a bare model.
+    """
 
     llm_calls: int = 0
     proxy_decisions: int = 0
     rule_decisions: int = 0
     candidates_considered: int = 0
     usd: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total_decisions(self) -> int:
@@ -53,6 +77,23 @@ class OpStats:
 
 def _record_text(record: Record) -> str:
     return str(record.get("text") or json.dumps(record, sort_keys=True))
+
+
+def _is_topical(predicate: str) -> bool:
+    return predicate.strip().lower().startswith("is_about")
+
+
+def _topic_of(predicate: str) -> str:
+    return predicate.strip()[len("is_about") :].strip().strip("'\"")
+
+
+def _judge_prompt(record: Record, predicate: str, topical: bool) -> str:
+    return Prompt(
+        task="judge",
+        instruction="Decide whether the item satisfies the predicate.",
+        input=_record_text(record) if topical else json.dumps(record, sort_keys=True),
+        fields={"predicate": predicate},
+    ).render()
 
 
 class SemanticOperators:
@@ -73,13 +114,45 @@ class SemanticOperators:
         self.proxy_low = proxy_low
         self.proxy_high = proxy_high
 
-    # ------------------------------------------------------------- sem_filter
+    # --------------------------------------------------------- accounting
+    def _ledger_usage(self, tag: str) -> Usage:
+        return self.llm.ledger.by_tag.get(tag, Usage())
+
+    def _cache_counters(self) -> Tuple[int, int]:
+        """(hits, misses) of a cache wrapper, or (0, 0) over a bare model."""
+        cache_stats = getattr(self.llm, "stats", None)
+        if cache_stats is None:
+            return 0, 0
+        hits = getattr(cache_stats, "hits", None)
+        if hits is None:
+            hits = getattr(cache_stats, "exact_hits", 0) + getattr(
+                cache_stats, "semantic_hits", 0
+            )
+        return int(hits), int(getattr(cache_stats, "misses", 0))
+
+    def _finish(
+        self,
+        stats: OpStats,
+        tag: str,
+        usage_before: Usage,
+        cache_before: Tuple[int, int],
+    ) -> OpStats:
+        delta = self._ledger_usage(tag) - usage_before
+        stats.llm_calls = delta.calls
+        stats.usd = delta.usd
+        hits_after, misses_after = self._cache_counters()
+        stats.cache_hits = hits_after - cache_before[0]
+        stats.cache_misses = misses_after - cache_before[1]
+        return stats
+
+    # --------------------------------------------------------- sem_filter
     def sem_filter(
         self,
         records: Sequence[Record],
         predicate: str,
         *,
         cascade: bool = False,
+        tag: str = "sem_filter",
     ) -> Tuple[List[Record], OpStats]:
         """Keep records satisfying ``predicate``.
 
@@ -87,83 +160,110 @@ class SemanticOperators:
         :func:`repro.llm.skills.evaluate_predicate`) or ``is_about <topic>``.
         With ``cascade=True``, confident cases are decided without the LLM.
         """
-        stats = OpStats()
-        kept: List[Record] = []
-        is_topical = predicate.strip().lower().startswith("is_about")
-        topic = predicate.strip()[len("is_about") :].strip().strip("'\"") if is_topical else ""
-        topic_vec = self.embedder.embed(topic) if is_topical else None
-        for record in records:
-            stats.candidates_considered += 1
-            decision: Optional[bool] = None
-            if cascade:
-                decision = self._proxy_decision(record, predicate, is_topical, topic_vec, stats)
-            if decision is None:
-                decision = self._llm_judge(record, predicate, stats)
-            if decision:
-                kept.append(record)
-        return kept, stats
+        rows = list(records)
+        stats = OpStats(candidates_considered=len(rows))
+        usage_before = self._ledger_usage(tag)
+        cache_before = self._cache_counters()
+        decisions = self.filter_decisions(rows, predicate, cascade=cascade, stats=stats)
+        pending = [i for i, decision in enumerate(decisions) if decision is None]
+        if pending:
+            topical = _is_topical(predicate)
+            prompts = [_judge_prompt(rows[i], predicate, topical) for i in pending]
+            responses = self.llm.generate_many(prompts, tag=tag)
+            for i, response in zip(pending, responses):
+                decisions[i] = response.text.strip().lower().startswith("y")
+        kept = [row for row, decision in zip(rows, decisions) if decision]
+        return kept, self._finish(stats, tag, usage_before, cache_before)
 
-    def _proxy_decision(
+    def filter_decisions(
         self,
-        record: Record,
+        rows: Sequence[Record],
         predicate: str,
-        is_topical: bool,
-        topic_vec: Optional[np.ndarray],
-        stats: OpStats,
-    ) -> Optional[bool]:
-        if is_topical and topic_vec is not None:
-            sim = float(np.dot(topic_vec, self.embedder.embed(_record_text(record))))
-            if sim >= self.proxy_high:
-                stats.proxy_decisions += 1
-                return True
-            if sim <= self.proxy_low:
-                stats.proxy_decisions += 1
-                return False
-            return None  # uncertain band -> LLM
-        verdict = evaluate_predicate(predicate, record)
-        if verdict is not None:
-            stats.rule_decisions += 1
-            return verdict
-        return None
+        *,
+        cascade: bool,
+        stats: Optional[OpStats] = None,
+    ) -> List[Optional[bool]]:
+        """Proxy-layer verdict per row: True/False decided, ``None`` -> LLM.
 
-    def _llm_judge(self, record: Record, predicate: str, stats: OpStats) -> bool:
-        prompt = Prompt(
-            task="judge",
-            instruction="Decide whether the item satisfies the predicate.",
-            input=_record_text(record)
-            if predicate.strip().lower().startswith("is_about")
-            else json.dumps(record, sort_keys=True),
-            fields={"predicate": predicate},
-        )
-        response = self.llm.generate(prompt.render(), tag="sem_filter")
-        stats.llm_calls += 1
-        stats.usd += response.usage.usd
-        return response.text.strip().lower().startswith("y")
+        Without ``cascade`` every entry is ``None``.  Topical predicates use
+        one ``embed_batch`` over the unique row texts and broadcast each
+        unique verdict; rule predicates run a closure compiled once.  The
+        verdicts equal the historical per-row evaluation bit-for-bit.
+        """
+        decisions: List[Optional[bool]] = [None] * len(rows)
+        if not cascade or not rows:
+            return decisions
+        stats = stats if stats is not None else OpStats()
+        if _is_topical(predicate):
+            topic_vec = self.embedder.embed(_topic_of(predicate))
+            texts = [_record_text(row) for row in rows]
+            unique_index: Dict[str, int] = {}
+            for text in texts:
+                unique_index.setdefault(text, len(unique_index))
+            vectors = self.embedder.embed_batch(list(unique_index))
+            unique_verdicts: List[Optional[bool]] = []
+            for position in range(len(unique_index)):
+                sim = float(np.dot(topic_vec, vectors[position]))
+                if sim >= self.proxy_high:
+                    unique_verdicts.append(True)
+                elif sim <= self.proxy_low:
+                    unique_verdicts.append(False)
+                else:
+                    unique_verdicts.append(None)  # uncertain band -> LLM
+            for idx, text in enumerate(texts):
+                verdict = unique_verdicts[unique_index[text]]
+                decisions[idx] = verdict
+                if verdict is not None:
+                    stats.proxy_decisions += 1
+        else:
+            check = compile_predicate(predicate)
+            if check is None:
+                # Not rule-decidable for any record (evaluate_predicate
+                # would return None everywhere): leave all pending.
+                return decisions
+            for idx, row in enumerate(rows):
+                verdict = check(row)
+                decisions[idx] = verdict
+                if verdict is not None:
+                    stats.rule_decisions += 1
+        return decisions
 
-    # --------------------------------------------------------------- sem_map
+    # ------------------------------------------------------------ sem_map
     def sem_map(
-        self, records: Sequence[Record], instruction: str, *, output_field: str = "mapped"
+        self,
+        records: Sequence[Record],
+        instruction: str,
+        *,
+        output_field: str = "mapped",
+        tag: str = "sem_map",
     ) -> Tuple[List[Record], OpStats]:
         """Apply ``instruction`` to each record; result in ``output_field``."""
+        rows = list(records)
         stats = OpStats()
+        usage_before = self._ledger_usage(tag)
+        cache_before = self._cache_counters()
+        responses = self.llm.generate_many(
+            [self.map_prompt(row, instruction) for row in rows], tag=tag
+        )
         out: List[Record] = []
-        for record in records:
-            prompt = Prompt(
-                task="map",
-                instruction=instruction,
-                input=json.dumps(record, sort_keys=True)
-                if "field" in instruction
-                else _record_text(record),
-            )
-            response = self.llm.generate(prompt.render(), tag="sem_map")
-            stats.llm_calls += 1
-            stats.usd += response.usage.usd
-            merged = dict(record)
+        for row, response in zip(rows, responses):
+            merged = dict(row)
             merged[output_field] = response.text
             out.append(merged)
-        return out, stats
+        return out, self._finish(stats, tag, usage_before, cache_before)
 
-    # -------------------------------------------------------------- sem_join
+    @staticmethod
+    def map_prompt(record: Record, instruction: str) -> str:
+        """Rendered prompt text of one map call (shared with the planner)."""
+        return Prompt(
+            task="map",
+            instruction=instruction,
+            input=json.dumps(record, sort_keys=True)
+            if "field" in instruction
+            else _record_text(record),
+        ).render()
+
+    # ----------------------------------------------------------- sem_join
     def sem_join(
         self,
         left: Sequence[Record],
@@ -173,6 +273,7 @@ class SemanticOperators:
         right_key: str = "name",
         blocking: bool = True,
         blocking_threshold: float = 0.60,
+        tag: str = "sem_join",
     ) -> Tuple[List[Tuple[Record, Record]], OpStats]:
         """Semantic equi-join: LLM confirms pairs whose keys should match.
 
@@ -184,8 +285,12 @@ class SemanticOperators:
         pairs: List[Tuple[Record, Record]] = []
         if not left or not right:
             return pairs, stats
+        usage_before = self._ledger_usage(tag)
+        cache_before = self._cache_counters()
         if blocking:
-            left_vecs = self.embedder.embed_batch([str(r.get(left_key, "")) for r in left])
+            left_vecs = self.embedder.embed_batch(
+                [str(r.get(left_key, "")) for r in left]
+            )
             right_vecs = self.embedder.embed_batch(
                 [str(r.get(right_key, "")) for r in right]
             )
@@ -199,23 +304,24 @@ class SemanticOperators:
         else:
             candidates = [(i, j) for i in range(len(left)) for j in range(len(right))]
         stats.candidates_considered = len(candidates)
-        for i, j in candidates:
-            prompt = Prompt(
+        prompts = [
+            Prompt(
                 task="join",
                 instruction="Do these records refer to the same entity?",
                 input=json.dumps(left[i], sort_keys=True)
                 + "\n---\n"
                 + json.dumps(right[j], sort_keys=True),
                 fields={"left_key": left_key, "right_key": right_key},
-            )
-            response = self.llm.generate(prompt.render(), tag="sem_join")
-            stats.llm_calls += 1
-            stats.usd += response.usage.usd
+            ).render()
+            for i, j in candidates
+        ]
+        responses = self.llm.generate_many(prompts, tag=tag)
+        for (i, j), response in zip(candidates, responses):
             if response.text.strip().lower().startswith("y"):
                 pairs.append((dict(left[i]), dict(right[j])))
-        return pairs, stats
+        return pairs, self._finish(stats, tag, usage_before, cache_before)
 
-    # -------------------------------------------------------------- sem_topk
+    # ----------------------------------------------------------- sem_topk
     def sem_topk(
         self,
         records: Sequence[Record],
@@ -223,41 +329,63 @@ class SemanticOperators:
         k: int,
         *,
         group_size: int = 8,
+        tag: str = "sem_topk",
     ) -> Tuple[List[Record], OpStats]:
         """Tournament top-k by relevance to ``query``.
 
         Records are ranked in groups of ``group_size`` (one LLM call per
-        group); group winners advance until one group remains.
+        group, all groups of a round batched together); group winners
+        advance until one group remains.
         """
         if k <= 0:
             return [], OpStats()
         stats = OpStats()
+        usage_before = self._ledger_usage(tag)
+        cache_before = self._cache_counters()
         pool = list(records)
         while len(pool) > group_size:
+            groups = [
+                pool[start : start + group_size]
+                for start in range(0, len(pool), group_size)
+            ]
             next_pool: List[Record] = []
-            for start in range(0, len(pool), group_size):
-                group = pool[start : start + group_size]
-                ranked = self._rank_group(group, query, stats)
+            for ranked in self._rank_groups(groups, query, tag):
                 next_pool.extend(ranked[: max(k, 1)])
             if len(next_pool) >= len(pool):
                 pool = next_pool[: max(len(pool) - 1, k)]
             else:
                 pool = next_pool
-        final = self._rank_group(pool, query, stats)
-        return final[:k], stats
+        final = self._rank_groups([pool], query, tag)[0]
+        return final[:k], self._finish(stats, tag, usage_before, cache_before)
 
-    def _rank_group(
-        self, group: List[Record], query: str, stats: OpStats
-    ) -> List[Record]:
-        if len(group) <= 1:
-            return list(group)
-        context = "\n".join(f"[{i}] {_record_text(r)}" for i, r in enumerate(group))
-        prompt = Prompt(task="rank", context=context, input=query)
-        response = self.llm.generate(prompt.render(), tag="sem_topk")
-        stats.llm_calls += 1
-        stats.usd += response.usage.usd
+    def _rank_groups(
+        self, groups: List[List[Record]], query: str, tag: str
+    ) -> List[List[Record]]:
+        """Rank every group of one tournament round in a single batch."""
+        need_llm = [g for g in groups if len(g) > 1]
+        prompts = [
+            Prompt(
+                task="rank",
+                context="\n".join(
+                    f"[{i}] {_record_text(r)}" for i, r in enumerate(group)
+                ),
+                input=query,
+            ).render()
+            for group in need_llm
+        ]
+        responses = iter(self.llm.generate_many(prompts, tag=tag))
+        ranked: List[List[Record]] = []
+        for group in groups:
+            if len(group) <= 1:
+                ranked.append(list(group))
+            else:
+                ranked.append(self._apply_rank(group, next(responses).text))
+        return ranked
+
+    @staticmethod
+    def _apply_rank(group: List[Record], reply: str) -> List[Record]:
         order: List[int] = []
-        for part in response.text.split(","):
+        for part in reply.split(","):
             part = part.strip()
             if part.isdigit() and int(part) < len(group) and int(part) not in order:
                 order.append(int(part))
@@ -266,26 +394,32 @@ class SemanticOperators:
                 order.append(i)
         return [group[i] for i in order]
 
-    # -------------------------------------------------------- sem_group_count
+    # ---------------------------------------------------- sem_group_count
     def sem_group_count(
-        self, records: Sequence[Record], classes: Sequence[str]
+        self,
+        records: Sequence[Record],
+        classes: Sequence[str],
+        *,
+        tag: str = "sem_group_count",
     ) -> Tuple[Dict[str, int], OpStats]:
         """Classify each record into ``classes`` and count per class."""
         if not classes:
             raise ConfigError("classes must be non-empty")
         stats = OpStats()
+        usage_before = self._ledger_usage(tag)
+        cache_before = self._cache_counters()
         counts: Dict[str, int] = {c: 0 for c in classes}
-        for record in records:
-            prompt = Prompt(
+        prompts = [
+            Prompt(
                 task="label",
                 instruction="Classify the item.",
                 input=_record_text(record),
                 fields={"classes": " | ".join(classes)},
-            )
-            response = self.llm.generate(prompt.render(), tag="sem_group_count")
-            stats.llm_calls += 1
-            stats.usd += response.usage.usd
+            ).render()
+            for record in records
+        ]
+        for response in self.llm.generate_many(prompts, tag=tag):
             label = response.text.strip()
             if label in counts:
                 counts[label] += 1
-        return counts, stats
+        return counts, self._finish(stats, tag, usage_before, cache_before)

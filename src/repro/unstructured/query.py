@@ -15,14 +15,19 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..data.documents import Document
 from ..data.table import Table
 from ..errors import ExecutionError
 from ..llm.model import SimLLM
 from ..rag.pipeline import RAGPipeline
+from .operators import Record, SemanticOperators
 from .schema_extract import EvaporateExtractor, ExtractionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..semopt.executor import PipelineResult
+    from ..semopt.plan import SemPipeline
 
 # Aggregation grammar: "<agg> <attribute> of <etype>s [where <field> <op> <value>]"
 _AGG_RE = re.compile(
@@ -156,6 +161,35 @@ class DocumentAnalytics:
             usd=self.llm.usage.usd - usd_before,
             rows_considered=rows,
         )
+
+    # ------------------------------------------------------------- pipelines
+    def doc_records(self) -> List[Record]:
+        """The corpus as semantic-operator records (text + string metadata)."""
+        return [
+            {
+                "name": doc.doc_id,
+                "title": doc.title,
+                "text": doc.text,
+                **{key: str(value) for key, value in doc.meta.items()},
+            }
+            for doc in self.docs
+        ]
+
+    def run_pipeline(self, pipeline: "SemPipeline") -> "PipelineResult":
+        """Run a semantic-operator pipeline over the corpus, optimized.
+
+        Routes through :class:`repro.semopt.SemExecutor`: the pipeline is
+        planned against the corpus (filter reordering, pushdown, map
+        fusion) and executed on the batched kernels behind an exact
+        cross-operator cache — answers are identical to naive in-order
+        execution, the cost is not.
+        """
+        from ..semopt.executor import SemExecutor
+
+        executor = SemExecutor(
+            SemanticOperators(self.llm), tag_prefix="docs.semopt"
+        )
+        return executor.run(self.doc_records(), pipeline)
 
     def _aggregate(self, query: AggregateQuery) -> Tuple[str, int]:
         view = self.materialize_view(query.etype)

@@ -142,6 +142,21 @@ class TestSimLLMQA:
         with pytest.raises(ModelError):
             llm.generate("hi", max_tokens=0)
 
+    def test_truncated_reply_agrees_with_charged_tokens(self, llm):
+        # The chat fallback emits a fixed multi-token reply; capping it must
+        # truncate the text to exactly the charged output tokens, never
+        # return the whole reply while billing only the cap.
+        prompt = "hello there"
+        full = llm.generate(prompt, max_tokens=64)
+        assert llm.tokenizer.count(full.text) > 3
+        capped = llm.generate(prompt, max_tokens=3)
+        assert capped.usage.output_tokens == 3
+        assert llm.tokenizer.count(capped.text) == 3
+        assert full.text.startswith(capped.text)
+        batched = llm.generate_many([prompt], max_tokens=3)
+        assert batched[0].text == capped.text
+        assert batched[0].usage == capped.usage
+
     def test_chat_fallback(self, llm):
         response = llm.generate("hello there")
         assert response.text
