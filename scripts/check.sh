@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-commit gate: ruff -> mypy (analysis subsystem, strict) -> repro-lint -> tier-1.
+# Pre-commit gate: ruff -> mypy (analysis/faults/semopt, strict) -> repro-lint -> tier-1.
 #
 # Usage (from the repo root):
 #     bash scripts/check.sh
@@ -29,15 +29,21 @@ else
     echo "skipped: ruff not installed (pip install -e '.[lint]')"
 fi
 
-step "mypy src/repro/analysis (strict)"
+step "mypy src/repro/{analysis,faults,semopt} (strict)"
 if python -m mypy --version >/dev/null 2>&1; then
-    python -m mypy src/repro/analysis/ || failures=$((failures + 1))
+    python -m mypy src/repro/analysis/ src/repro/faults/ src/repro/semopt/ \
+        || failures=$((failures + 1))
 else
     echo "skipped: mypy not installed (pip install -e '.[lint]')"
 fi
 
 step "repro-lint (scripts/lint.py)"
-python scripts/lint.py || failures=$((failures + 1))
+# Under CI=1 emit GitHub Actions annotations so findings land on the PR diff.
+if [ "${CI:-0}" = "1" ]; then
+    python scripts/lint.py --format github || failures=$((failures + 1))
+else
+    python scripts/lint.py || failures=$((failures + 1))
+fi
 
 step "tier-1 tests"
 python -m pytest -x -q || failures=$((failures + 1))

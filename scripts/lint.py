@@ -8,6 +8,8 @@ Usage (from the repo root)::
     PYTHONPATH=src python scripts/lint.py --update-baseline
     PYTHONPATH=src python scripts/lint.py --list-rules
     PYTHONPATH=src python scripts/lint.py --select R001,R003 src/repro/vector
+    PYTHONPATH=src python scripts/lint.py --format json      # machine-readable
+    PYTHONPATH=src python scripts/lint.py --format github    # PR annotations
 
 Exit status: 0 when no *new* violations exist relative to the checked-in
 baseline (scripts/lint_baseline.json); 1 otherwise.  Stale baseline entries
@@ -33,7 +35,12 @@ from repro.analysis import (  # noqa: E402
     run_lint,
     write_baseline,
 )
-from repro.analysis.report import format_report, summarize  # noqa: E402
+from repro.analysis.report import (  # noqa: E402
+    format_github,
+    format_json,
+    format_report,
+    summarize,
+)
 
 DEFAULT_PATHS = ("src", "benchmarks", "tests", "scripts")
 DEFAULT_BASELINE = REPO_ROOT / "scripts" / "lint_baseline.json"
@@ -56,6 +63,9 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     parser.add_argument("--quiet", action="store_true", help="summary line only")
+    parser.add_argument("--format", choices=("text", "json", "github"), default="text",
+                        help="output format: human text, stable JSON, or GitHub "
+                        "Actions annotations (default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -91,7 +101,19 @@ def main(argv: List[str] | None = None) -> int:
     baseline = {} if args.no_baseline else load_baseline(args.baseline)
     diff = diff_against_baseline(result.violations, baseline)
 
-    if diff.new and not args.quiet:
+    if args.format == "json":
+        print(format_json(
+            new=diff.new,
+            baselined=diff.baselined,
+            stale=diff.stale,
+            files_checked=result.files_checked,
+        ))
+        return 1 if diff.new else 0
+    if args.format == "github":
+        if diff.new:
+            print(format_github(diff.new))
+
+    if args.format == "text" and diff.new and not args.quiet:
         print(format_report(diff.new))
     if diff.stale and not args.quiet:
         print(f"note: {sum(diff.stale.values())} stale baseline entr"

@@ -56,6 +56,12 @@ def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
+def _pathless(fingerprint: str) -> str:
+    """Drop the leading path segment of a ``path::code::message`` fingerprint."""
+    _, _, rest = fingerprint.partition("::")
+    return rest
+
+
 def diff_against_baseline(
     violations: Sequence[Violation], baseline: Dict[str, int]
 ) -> BaselineDiff:
@@ -65,14 +71,38 @@ def diff_against_baseline(
     (lowest line numbers first) are treated as the known legacy ones and any
     excess is new — so adding a second identical violation to a file still
     fails even though the first is accepted.
+
+    A second, rename-tolerant pass then matches leftover new findings
+    against leftover baseline entries by the path-free ``code::message``
+    key: moving a file does not change what its accepted debt *is*, so a
+    pure rename neither fails the run nor reports stale entries.  The match
+    is count-limited per key, so a rename plus a genuinely new identical
+    finding still fails.
     """
     diff = BaselineDiff()
     remaining = dict(baseline)
+    unmatched: List[Violation] = []
     for violation in sorted(violations):
         if remaining.get(violation.fingerprint, 0) > 0:
             remaining[violation.fingerprint] -= 1
             diff.baselined.append(violation)
         else:
+            unmatched.append(violation)
+    # Rename-tolerant pass over whatever the exact pass could not pair up.
+    stale_by_key: Dict[str, List[str]] = {}
+    for fingerprint, count in remaining.items():
+        if count > 0:
+            stale_by_key.setdefault(_pathless(fingerprint), []).extend(
+                [fingerprint] * count
+            )
+    for violation in unmatched:
+        candidates = stale_by_key.get(_pathless(violation.fingerprint))
+        if candidates:
+            matched = candidates.pop(0)
+            remaining[matched] -= 1
+            diff.baselined.append(violation)
+        else:
             diff.new.append(violation)
+    diff.baselined.sort()
     diff.stale = {fingerprint: count for fingerprint, count in remaining.items() if count > 0}
     return diff

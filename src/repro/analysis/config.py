@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Tuple
 
-ALL_RULE_CODES: Tuple[str, ...] = ("R001", "R002", "R003", "R004", "R005", "R006")
+ALL_RULE_CODES: Tuple[str, ...] = (
+    "R001", "R002", "R003", "R004", "R005", "R006",
+    "R007", "R008", "R009", "R010", "R011",
+)
 
 
 def _norm(path: str) -> str:
@@ -20,7 +23,7 @@ def _norm(path: str) -> str:
 
 @dataclass(frozen=True)
 class LintConfig:
-    """Scoping and allowlists for the six repro-lint rules."""
+    """Scoping and allowlists for the repro-lint rules (R001–R011)."""
 
     # Which rules run at all (R000, the suppression meta-rule, always runs).
     enabled: FrozenSet[str] = field(default_factory=lambda: frozenset(ALL_RULE_CODES))
@@ -69,6 +72,53 @@ class LintConfig:
     perf_prefixes: Tuple[str, ...] = ("benchmarks/perf",)
     perf_marker: str = "perf"
 
+    # R007: hot entry points (``relpath::qualname``) whose transitive callees
+    # must be free of unseeded randomness and order-escaping set iteration.
+    hot_entry_points: Tuple[str, ...] = (
+        "src/repro/inference/scheduler.py::ServingEngine.run",
+        "src/repro/inference/scheduler.py::ServingEngine.step",
+        "src/repro/inference/fleet.py::ClusterFleet.run",
+        "src/repro/inference/fleet.py::EngineFleet.run",
+        "src/repro/semopt/executor.py::SemExecutor.run",
+        "src/repro/prep/pipeline.py::PrepPipeline.run",
+    )
+
+    # R008: the one module allowed to construct numpy Generators directly;
+    # everything else under ``rng_scope_prefixes`` must go through derive_rng.
+    rng_factory_module: str = "src/repro/utils.py"
+    rng_scope_prefixes: Tuple[str, ...] = ("src/repro",)
+
+    # R009: ledger-tag conservation.  Dotted string-literal tags charged via
+    # ``.charge(..., tag=...)`` must match ``<prefix>.sN.<kind>`` with a
+    # registered stage kind, and must be read somewhere in the repo.  Flat
+    # (dot-free) tags are the legacy namespace and stay exempt.
+    ledger_scope_prefixes: Tuple[str, ...] = ("src/repro",)
+    ledger_stage_kinds: Tuple[str, ...] = (
+        "filter", "map", "join", "topk", "group_count",
+    )
+
+    # R010: per-event driver functions whose while-loops must stay
+    # allocation-free (checked one call level deep for numpy allocations).
+    hot_loop_functions: Tuple[str, ...] = (
+        "src/repro/inference/scheduler.py::ServingEngine.run",
+        "src/repro/inference/scheduler.py::ServingEngine.step",
+        "src/repro/inference/fleet.py::ClusterFleet.run",
+        "src/repro/inference/fleet.py::EngineFleet.run",
+    )
+
+    # R011: resource protocols as (name, acquire methods, release methods).
+    # Matching is by method name on any receiver — the allocator handles in
+    # scheduler/fleet are deliberately duck-typed, so nominal typing is not
+    # available to the analyzer.
+    resource_protocols: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
+        ("kv-block", ("admit",), ("release",)),
+        ("prefix-pin", ("register_prefix",), ("drop_prefix",)),
+    )
+    resource_scope_prefixes: Tuple[str, ...] = (
+        "src/repro/inference",
+        "src/repro/faults",
+    )
+
     def is_hot_path(self, relpath: str) -> bool:
         return _starts_with_any(relpath, self.hot_path_prefixes)
 
@@ -86,6 +136,18 @@ class LintConfig:
 
     def in_public_api_scope(self, relpath: str) -> bool:
         return _starts_with_any(relpath, (self.public_api_root,))
+
+    def in_rng_scope(self, relpath: str) -> bool:
+        rel = _norm(relpath)
+        if rel == _norm(self.rng_factory_module):
+            return False
+        return _starts_with_any(rel, self.rng_scope_prefixes)
+
+    def in_ledger_scope(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, self.ledger_scope_prefixes)
+
+    def in_resource_scope(self, relpath: str) -> bool:
+        return _starts_with_any(relpath, self.resource_scope_prefixes)
 
 
 def _starts_with_any(relpath: str, prefixes: Tuple[str, ...]) -> bool:

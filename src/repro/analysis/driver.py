@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .config import LintConfig
+from .dataflow import build_program
 from .report import Severity, Violation
 from .rules import ALL_RULES, Rule, RuleContext, collect_import_aliases
 from .suppress import scan_suppressions
@@ -201,12 +202,33 @@ def collect_exports(repo_root: Path, config: LintConfig) -> Dict[str, FrozenSet[
     return {relpath: frozenset(names) for relpath, names in exports.items()}
 
 
-def build_context(repo_root: Path, config: LintConfig) -> RuleContext:
-    """Compute the repo-wide facts every rule shares for one run."""
+def build_context(
+    repo_root: Path,
+    config: LintConfig,
+    modules: Optional[Dict[str, ModuleInfo]] = None,
+) -> RuleContext:
+    """Compute the repo-wide facts every rule shares for one run.
+
+    When ``modules`` is provided (the parsed file set of this run), the
+    interprocedural :class:`~repro.analysis.dataflow.Program` — call graph,
+    per-function summaries, reachability/may-raise fixpoints — is built over
+    exactly those modules; narrowed runs simply see a smaller program.
+    """
+    program = None
+    if modules:
+        program = build_program(
+            modules,
+            entry_specs=config.hot_entry_points,
+            protocols=tuple(
+                (name, frozenset(acquire), frozenset(release))
+                for name, acquire, release in config.resource_protocols
+            ),
+        )
     return RuleContext(
         config=config,
         taxonomy=collect_taxonomy(repo_root, config),
         exports=collect_exports(repo_root, config),
+        program=program,
     )
 
 
@@ -217,20 +239,26 @@ def run_lint(
     repo_root: Optional[Path] = None,
     rules: Optional[Iterable[Rule]] = None,
 ) -> LintResult:
-    """Lint ``paths`` and return suppression-filtered, sorted violations."""
+    """Lint ``paths`` and return suppression-filtered, sorted violations.
+
+    Two passes: parse every file first (so the call graph spans the whole
+    run), then dispatch rules per module against the shared context.
+    """
     config = config or LintConfig()
     repo_root = (repo_root or Path.cwd()).resolve()
     active: Tuple[Rule, ...] = tuple(
         rule for rule in (rules if rules is not None else ALL_RULES)
         if rule.code in config.enabled
     )
-    context = build_context(repo_root, config)
     violations: List[Violation] = []
     files = collect_files(paths, repo_root)
+    modules: Dict[str, ModuleInfo] = {}
+    suppressions_by_path = {}
     for path in files:
         relpath = _relpath(path, repo_root)
         source = path.read_text(encoding="utf-8")
         suppressions = scan_suppressions(relpath, source)
+        suppressions_by_path[relpath] = suppressions
         violations.extend(suppressions.problems)
         try:
             tree = ast.parse(source)
@@ -245,7 +273,11 @@ def run_lint(
                 )
             )
             continue
-        module = ModuleInfo(relpath=relpath, source=source, tree=tree)
+        modules[relpath] = ModuleInfo(relpath=relpath, source=source, tree=tree)
+    context = build_context(repo_root, config, modules)
+    for relpath in sorted(modules):
+        module = modules[relpath]
+        suppressions = suppressions_by_path[relpath]
         for rule in active:
             for violation in rule.check(module, context):
                 if not suppressions.is_suppressed(violation.code, violation.line):

@@ -1,10 +1,16 @@
-"""Violation records, severities, and ``file:line: CODE message`` rendering."""
+"""Violation records, severities, and ``file:line: CODE message`` rendering.
+
+Besides the human ``text`` format, two machine formats back
+``scripts/lint.py --format``: stable sorted JSON (tooling) and GitHub
+Actions workflow commands (inline PR annotations when ``CI=1``).
+"""
 
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 
 class Severity(enum.Enum):
@@ -65,6 +71,57 @@ def format_report(
     if max_lines and len(lines) > max_lines:
         hidden = len(lines) - max_lines
         lines = lines[:max_lines] + [f"... and {hidden} more"]
+    return "\n".join(lines)
+
+
+def _violation_payload(violation: Violation) -> Dict[str, object]:
+    return {
+        "path": violation.path,
+        "line": violation.line,
+        "code": violation.code,
+        "severity": str(violation.severity),
+        "message": violation.message,
+        "fingerprint": violation.fingerprint,
+    }
+
+
+def format_json(
+    *,
+    new: Sequence[Violation],
+    baselined: Sequence[Violation],
+    stale: Mapping[str, int],
+    files_checked: int,
+) -> str:
+    """Stable machine-readable report: sorted keys, sorted violations."""
+    payload = {
+        "files_checked": files_checked,
+        "ok": not new,
+        "new": [_violation_payload(v) for v in sorted(new)],
+        "baselined": [_violation_payload(v) for v in sorted(baselined)],
+        "stale": {key: stale[key] for key in sorted(stale)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github_escape(text: str) -> str:
+    """Escape per GitHub's workflow-command rules (%, CR, LF in messages)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def format_github(violations: Sequence[Violation]) -> str:
+    """Render findings as GitHub Actions annotations, one per line.
+
+    ``::error file=src/x.py,line=3,title=R007::message`` renders inline on
+    the PR diff; warnings map to ``::warning``.
+    """
+    lines: List[str] = []
+    for violation in sorted(violations):
+        level = "error" if violation.severity is Severity.ERROR else "warning"
+        lines.append(
+            f"::{level} file={_github_escape(violation.path)},"
+            f"line={violation.line},title={violation.code}::"
+            f"{_github_escape(violation.message)}"
+        )
     return "\n".join(lines)
 
 

@@ -1,14 +1,23 @@
-"""The six repro-lint rules, one checker class per invariant.
+"""The repro-lint rules (R001–R011), one checker class per invariant.
 
 Each rule walks a parsed module (:class:`repro.analysis.driver.ModuleInfo`)
 and yields :class:`~repro.analysis.report.Violation` records.  Rules are
-pure: all repository context (exception taxonomy, public-API export index)
-is computed once by the driver and passed in via :class:`RuleContext`.
+pure: all repository context (exception taxonomy, public-API export index,
+and — for the interprocedural rules R007–R011 — the whole-repo
+:class:`~repro.analysis.dataflow.Program`) is computed once by the driver
+and passed in via :class:`RuleContext`.
+
+R001–R006 are the original per-module invariants; R007–R011 judge facts
+the :mod:`~repro.analysis.callgraph` / :mod:`~repro.analysis.dataflow`
+layers propagate across module boundaries (reachability from hot entry
+points, may-raise, may-release).  When ``context.program`` is ``None``
+(a rules-only unit test), the interprocedural rules stay silent.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -16,6 +25,7 @@ from .config import LintConfig
 from .report import Severity, Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .dataflow import Program
     from .driver import ModuleInfo
 
 
@@ -28,6 +38,8 @@ class RuleContext:
     taxonomy: FrozenSet[str] = field(default_factory=frozenset)
     # relpath -> names re-exported from that module via some __init__.py (R005).
     exports: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    # Whole-repo call graph + summaries + fixpoints (R007–R011).
+    program: Optional["Program"] = None
 
 
 class Rule:
@@ -42,9 +54,12 @@ class Rule:
         raise NotImplementedError
 
     def violation(self, module: "ModuleInfo", node: ast.AST, message: str) -> Violation:
+        return self.violation_at(module, getattr(node, "lineno", 1), message)
+
+    def violation_at(self, module: "ModuleInfo", lineno: int, message: str) -> Violation:
         return Violation(
             path=module.relpath,
-            line=getattr(node, "lineno", 1),
+            line=lineno,
             code=self.code,
             message=message,
             severity=self.severity,
@@ -71,6 +86,18 @@ def resolve_call_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
         return None
     parts.append(base)
     return ".".join(reversed(parts))
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function/class scopes."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)
 
 
 def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
@@ -455,6 +482,453 @@ class PerfMarkerRule(Rule):
         return isinstance(target, ast.Attribute) and target.attr == marker
 
 
+# --------------------------------------------------------------------------- R007
+
+
+class DeterminismTaintRule(Rule):
+    """R007: nothing reachable from a hot entry point may be order-unstable.
+
+    R001 checks hot-path *files*; this rule checks hot-path *executions*: a
+    BFS over the call graph from the configured entry points
+    (``ServingEngine.run/step``, ``ClusterFleet.run``, ``SemExecutor.run``,
+    ``PrepPipeline.run``, ...) taints every transitively-called function.
+    Inside the tainted set, two things break bit-determinism silently:
+
+    * unseeded randomness (global ``numpy.random.*`` / stdlib ``random.*`` /
+      ``default_rng()`` without a seed) — the golden-trajectory tests only
+      hold when every draw comes from an injected seeded Generator;
+    * iteration over a ``set`` whose order escapes into results — set order
+      depends on ``PYTHONHASHSEED`` for str keys.  (``dict``/``dict.keys()``
+      are insertion-ordered since 3.7 and are deliberately not flagged.)
+
+    Every finding prints its witness call chain from the entry point.
+    """
+
+    code = "R007"
+    name = "determinism-taint"
+    description = "no unseeded RNG or set-order escapes reachable from hot entry points"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        program = context.program
+        if program is None:
+            return
+        for func in program.graph.functions_in(module.relpath):
+            if not program.is_entry_reachable(func.fid):
+                continue
+            summary = program.summary_of(func.fid)
+            if summary is None:
+                continue
+            chain = " -> ".join(program.witness_chain(func.fid))
+            for source in summary.unseeded:
+                yield self.violation_at(
+                    module, source.lineno,
+                    f"unseeded randomness {source.api} on hot path {chain}; "
+                    "inject a stream from repro.utils.derive_rng",
+                )
+            for escape in summary.set_escapes:
+                yield self.violation_at(
+                    module, escape.lineno,
+                    f"set iteration order escapes on hot path {chain}: {escape.detail}",
+                )
+
+
+# --------------------------------------------------------------------------- R008
+
+
+class RNGStreamRule(Rule):
+    """R008: RNG streams are derived, tagged, and never shared across modules.
+
+    ``repro.utils.derive_rng(seed, *names)`` is the only sanctioned stream
+    factory: it hashes the name path into the seed so every stream is
+    independent and reproducible from config alone.  This rule flags, inside
+    ``rng_scope_prefixes`` (the factory module itself is exempt):
+
+    * direct ``numpy.random.default_rng`` / ``Generator`` / ``RandomState``
+      construction — a parallel seeding convention that silently diverges;
+    * module-level stream globals (``RNG = derive_rng(...)`` at top level)
+      — importable shared state, the cross-module-sharing hazard;
+    * two ``derive_rng`` call sites in one module with the *same* static tag
+      path — both streams replay identical draws (tags with dynamic
+      components are exempt: distinctness is established at runtime);
+    * loops whose trip count is drawn from one stream while the body draws
+      from another — the draw count of stream B then depends on stream A's
+      values, the seeded-parallelism equivalent of a data race.
+    """
+
+    code = "R008"
+    name = "rng-stream-discipline"
+    description = "Generators must come from derive_rng with distinct static tags"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        program = context.program
+        if program is None or not context.config.in_rng_scope(module.relpath):
+            return
+        facts = program.module_facts.get(module.relpath)
+        if facts is not None:
+            for lineno, name in facts.rng_globals:
+                yield self.violation_at(
+                    module, lineno,
+                    f"module-level RNG stream global '{name}' enables cross-module "
+                    "stream sharing; derive streams where they are consumed",
+                )
+        tag_sites: Dict[Tuple[str, ...], List[Tuple[str, int]]] = {}
+        for func in program.graph.functions_in(module.relpath):
+            summary = program.summary_of(func.fid)
+            if summary is None:
+                continue
+            for creation in summary.rng_creations:
+                yield self.violation_at(
+                    module, creation.lineno,
+                    f"direct {creation.api} construction in {func.qualname}(); "
+                    "derive streams via repro.utils.derive_rng",
+                )
+            for derive in summary.derive_calls:
+                if derive.static_tags:
+                    tag_sites.setdefault(derive.static_tags, []).append(
+                        (func.qualname, derive.lineno)
+                    )
+            for hazard in summary.cross_streams:
+                yield self.violation_at(
+                    module, hazard.lineno,
+                    f"loop trip count drawn from stream '{hazard.trip_rng}' while "
+                    f"the body draws from '{hazard.body_rng}' in {func.qualname}(); "
+                    "draw the count and the body from the same stream or "
+                    "pre-materialize the draws",
+                )
+        for tags, sites in sorted(tag_sites.items()):
+            if len(sites) < 2:
+                continue
+            joined = ".".join(tags)
+            for qualname, lineno in sites[1:]:
+                yield self.violation_at(
+                    module, lineno,
+                    f"derive_rng tag '{joined}' in {qualname}() duplicates an "
+                    f"earlier stream in {sites[0][0]}(); identical tags replay "
+                    "identical draws — give each stream a distinct name path",
+                )
+
+
+# --------------------------------------------------------------------------- R009
+
+
+class LedgerTagRule(Rule):
+    """R009: dotted ledger tags follow the stage grammar and are read back.
+
+    ``semopt/executor.py`` established the structured tag namespace
+    ``<prefix>.s<N>.<kind>`` whose per-stage deltas must sum to the run
+    total (the conservation property tests pin down).  A literal dotted tag
+    that doesn't parse under that grammar, or is charged but never read
+    anywhere in the repo, is silent accounting drift: the charge lands in
+    ``by_tag`` and no report ever surfaces it.  Flat (dot-free) tags are
+    the legacy namespace (``"sft-gen"``, ``"rag"``, ...) and stay exempt;
+    f-string tags are the sanctioned dynamic form and are checked at the
+    grammar level by the executor itself.
+    """
+
+    code = "R009"
+    name = "ledger-tag-conservation"
+    description = "dotted literal ledger tags must match <prefix>.sN.<kind> and be read"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        program = context.program
+        if program is None or not context.config.in_ledger_scope(module.relpath):
+            return
+        facts = program.module_facts.get(module.relpath)
+        if facts is None or not facts.charge_tags:
+            return
+        kinds = "|".join(re.escape(kind) for kind in context.config.ledger_stage_kinds)
+        grammar = re.compile(rf"^[a-z][a-z0-9_-]*(\.[a-z0-9_-]+)*\.s\d+\.({kinds})$")
+        all_reads: Set[str] = set()
+        for other in program.module_facts.values():
+            all_reads |= other.read_literals
+        for charge in facts.charge_tags:
+            tag = charge.literal
+            if tag is None or "." not in tag:
+                continue
+            if not grammar.match(tag):
+                yield self.violation_at(
+                    module, charge.lineno,
+                    f"ledger tag '{tag}' does not match the registered "
+                    "<prefix>.sN.<kind> grammar "
+                    f"(kinds: {', '.join(context.config.ledger_stage_kinds)})",
+                )
+            elif tag not in all_reads:
+                yield self.violation_at(
+                    module, charge.lineno,
+                    f"ledger tag '{tag}' is charged but never read anywhere; "
+                    "unread charges are silent accounting drift",
+                )
+
+
+# --------------------------------------------------------------------------- R010
+
+
+class HotLoopAllocRule(Rule):
+    """R010: per-event while loops don't allocate, one call level deep.
+
+    The serving DES processes millions of events through the while loops of
+    ``ServingEngine.run/step`` and the fleet drivers; an array constructor
+    or ``np.concatenate`` in that loop (or in a function it calls per
+    event) turns O(1) event handling into O(n) — the regression class the
+    PR 1/PR 5 perf work exists to prevent.  Direct loop bodies are checked
+    for numpy constructors *and* ``list()/dict()/set()`` calls; direct
+    callees (one level deep) are checked for numpy allocations only.
+    """
+
+    code = "R010"
+    name = "hot-loop-allocation"
+    description = "no array/dict constructors in per-event while loops (depth 1)"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        program = context.program
+        if program is None:
+            return
+        hot = [
+            fid
+            for fid in context.config.hot_loop_functions
+            if fid in program.graph.functions
+        ]
+        seen: Set[Tuple[int, str]] = set()
+        for fid in hot:
+            func = program.graph.functions[fid]
+            summary = program.summary_of(fid)
+            if summary is None:
+                continue
+            if func.relpath == module.relpath:
+                for alloc in summary.allocs:
+                    if not alloc.in_while:
+                        continue
+                    key = (alloc.lineno, alloc.label)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.violation_at(
+                        module, alloc.lineno,
+                        f"{alloc.label}() allocation inside the per-event while "
+                        f"loop of {func.qualname}(); hoist it or reuse a buffer",
+                    )
+            for edge in program.graph.callees(fid):
+                if edge.lineno not in summary.while_call_linenos:
+                    continue
+                callee = program.graph.functions[edge.callee]
+                if callee.relpath != module.relpath or callee.fid in hot:
+                    continue
+                callee_summary = program.summary_of(callee.fid)
+                if callee_summary is None:
+                    continue
+                for alloc in callee_summary.allocs:
+                    if not alloc.label.startswith("numpy."):
+                        continue
+                    key = (alloc.lineno, alloc.label)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.violation_at(
+                        module, alloc.lineno,
+                        f"{alloc.label}() in {callee.qualname}(), called per event "
+                        f"from the while loop of {func.qualname}(); hoist it out "
+                        "of the event path",
+                    )
+
+
+# --------------------------------------------------------------------------- R011
+
+
+def _contains_method_call(node: ast.AST, methods: FrozenSet[str]) -> bool:
+    for inner in iter_own_nodes(node):
+        if (
+            isinstance(inner, ast.Call)
+            and isinstance(inner.func, ast.Attribute)
+            and inner.func.attr in methods
+        ):
+            return True
+    return False
+
+
+def _header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The non-body expressions of a compound statement (test/iter/items)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    return []
+
+
+class ResourceLeakRule(Rule):
+    """R011: acquired resources are released on *every* exit path.
+
+    KV blocks (``admit``/``release``) and prefix pins
+    (``register_prefix``/``drop_prefix``) are refcounted by the paged
+    allocators; a path that acquires and then returns, breaks, raises, or
+    calls a may-raise function without a protecting ``try/finally`` leaks
+    the refcount — exactly the bug class the fault-injection re-queue and
+    retry paths of PR 3/PR 5 made easy to write.
+
+    Functions that acquire but never release locally *transfer ownership*
+    (the allocator or engine state tracks the handle) and are exempt; the
+    path analysis runs only where acquire and release both appear locally,
+    i.e. where this function's own control flow is the resource's owner.
+    ``may_raise`` is the interprocedural fixpoint from the call graph, so
+    an exception path three calls deep still counts.
+    """
+
+    code = "R011"
+    name = "resource-leak"
+    description = "locally-owned acquire/release pairs must release on all exits"
+
+    def check(self, module: "ModuleInfo", context: RuleContext) -> Iterator[Violation]:
+        program = context.program
+        if program is None or not context.config.in_resource_scope(module.relpath):
+            return
+        for func in program.graph.functions_in(module.relpath):
+            summary = program.summary_of(func.fid)
+            if summary is None:
+                continue
+            for name, acquire_methods, release_methods in context.config.resource_protocols:
+                acquires = [op for op in summary.acquires if op.protocol == name]
+                releases = [op for op in summary.releases if op.protocol == name]
+                if not acquires or not releases:
+                    # Acquire-only transfers ownership; release-only is the
+                    # owning side of someone else's transfer.
+                    continue
+                for lineno, reason in _find_leaks(
+                    func.node,
+                    func.fid,
+                    frozenset(acquire_methods),
+                    frozenset(release_methods),
+                    program,
+                ):
+                    yield self.violation_at(
+                        module, lineno,
+                        f"{name} may leak in {func.qualname}(): {reason}",
+                    )
+
+
+def _find_leaks(
+    func_node: ast.AST,
+    fid: str,
+    acquire_methods: FrozenSet[str],
+    release_methods: FrozenSet[str],
+    program: "Program",
+) -> List[Tuple[int, str]]:
+    """Structured may-leak walk over one function's statement tree.
+
+    Tracks a single ``held`` bit through the statement sequence: set by any
+    statement containing an acquire call, cleared by any containing a
+    release.  While held, early exits (return/break/continue/raise) and
+    calls into may-raise repo functions are leaks unless a ``finally`` (or
+    a releasing except handler, for the raise case) protects them.
+    """
+    leaks: List[Tuple[int, str]] = []
+    edges = program.graph.callees(fid)
+    may_raise = program.may_raise
+
+    def raising_callee(stmt: ast.stmt) -> Optional[str]:
+        start = stmt.lineno
+        end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+        for edge in edges:
+            if start <= edge.lineno <= end and edge.callee in may_raise:
+                target = program.graph.functions.get(edge.callee)
+                return target.qualname if target else edge.callee
+        return None
+
+    def seq_releases(seq: List[ast.stmt]) -> bool:
+        return any(_contains_method_call(stmt, release_methods) for stmt in seq)
+
+    def process(seq: List[ast.stmt], held: bool, protected: bool) -> bool:
+        for stmt in seq:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Try):
+                finally_releases = seq_releases(stmt.finalbody)
+                handler_releases = any(seq_releases(h.body) for h in stmt.handlers)
+                if finally_releases:
+                    # Every exit of the try (fall-through, return, raise)
+                    # runs the finally; the resource cannot escape held.
+                    held = False
+                    continue
+                held = process(stmt.body, held, protected or handler_releases)
+                for handler in stmt.handlers:
+                    process(handler.body, held, protected)
+                held = process(stmt.orelse, held, protected)
+                process(stmt.finalbody, held, protected)
+                continue
+            headers = _header_exprs(stmt)
+            header_acquires = any(
+                _contains_method_call(h, acquire_methods) for h in headers
+            )
+            header_releases = any(
+                _contains_method_call(h, release_methods) for h in headers
+            )
+            if header_releases:
+                held = False
+            if not held:
+                if isinstance(stmt, ast.If):
+                    held = process(stmt.body, header_acquires, protected) or process(
+                        stmt.orelse, header_acquires, protected
+                    )
+                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    held = process(stmt.body, header_acquires, protected)
+                    held = process(stmt.orelse, held, protected)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    held = process(stmt.body, header_acquires, protected)
+                elif _contains_method_call(stmt, acquire_methods) and not (
+                    _contains_method_call(stmt, release_methods)
+                ):
+                    held = True
+                continue
+            # ---- held ----------------------------------------------------
+            if not isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith)) and _contains_method_call(stmt, release_methods):
+                held = False
+                continue
+            if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+                kind = type(stmt).__name__.lower()
+                leaks.append(
+                    (stmt.lineno, f"{kind} on a path still holding the resource")
+                )
+                continue
+            if isinstance(stmt, ast.Raise):
+                leaks.append(
+                    (stmt.lineno, "raises on a path still holding the resource")
+                )
+                continue
+            if isinstance(stmt, ast.If):
+                held = process(stmt.body, True, protected) or process(
+                    stmt.orelse, True, protected
+                )
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                held = process(stmt.body, True, protected)
+                held = process(stmt.orelse, held, protected)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                held = process(stmt.body, True, protected)
+                continue
+            if not protected:
+                callee = raising_callee(stmt)
+                if callee is not None:
+                    leaks.append(
+                        (
+                            stmt.lineno,
+                            f"calls {callee}() which may raise while holding the "
+                            "resource; release in a try/finally",
+                        )
+                    )
+        return held
+
+    body = getattr(func_node, "body", [])
+    if process(list(body), False, False):
+        leaks.append(
+            (
+                getattr(func_node, "lineno", 1),
+                "a path reaches function exit still holding the resource",
+            )
+        )
+    return leaks
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
     ExceptionTaxonomyRule(),
@@ -462,4 +936,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     PublicApiAnnotationRule(),
     PerfMarkerRule(),
+    DeterminismTaintRule(),
+    RNGStreamRule(),
+    LedgerTagRule(),
+    HotLoopAllocRule(),
+    ResourceLeakRule(),
 )

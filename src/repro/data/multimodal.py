@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError
-from ..utils import derive_rng, stable_hash
+from ..utils import derive_rng
 from .documents import FACT_TEMPLATES, extract_stated_facts
 from .world import World
 
@@ -33,7 +33,7 @@ FEATURE_DIM = 48
 
 def category_prototype(category: str, *, dim: int = FEATURE_DIM) -> np.ndarray:
     """The deterministic unit direction 'photos of this category' cluster on."""
-    rng = np.random.default_rng(stable_hash(f"imgproto:{category}"))
+    rng = derive_rng(0, "imgproto", category)
     vec = rng.standard_normal(dim)
     return vec / np.linalg.norm(vec)
 

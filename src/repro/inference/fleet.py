@@ -862,6 +862,8 @@ class ClusterFleet:
                     heappop(fheap)
                 else:
                     fin_min = _INF
+                # repro-lint: disable=R010 — runs only on rare REPLICA_DEATH
+                # fault events, and the copy is required before .clear()
                 stranded = list(queues[r])
                 queues[r].clear()
                 depth_l[r] = 0

@@ -90,6 +90,10 @@ class EmbeddingModel:
     def _unit_vector(self, key: str) -> np.ndarray:
         vec = self._token_vectors.get(key)
         if vec is None:
+            # repro-lint: disable=R008 — seeded, content-addressed stream whose
+            # identity is pinned by the frozen prep-parity baseline
+            # (tests/test_prep_batch.py); rederiving via derive_rng would shift
+            # every committed embedding-dependent golden
             rng = np.random.default_rng(stable_hash(f"emb:{self.seed}:{key}"))
             vec = rng.standard_normal(self.dim).astype(np.float32)
             vec /= np.linalg.norm(vec)

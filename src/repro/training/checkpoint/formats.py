@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ...errors import CheckpointError
+from ...utils import derive_rng
 
 State = Dict[str, np.ndarray]
 
@@ -196,7 +197,7 @@ def make_state(
     *, num_tensors: int = 8, rows: int = 256, cols: int = 64, seed: int = 0
 ) -> State:
     """Deterministic toy training state (used by tests and benches)."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, "ckpt-state")
     return {
         f"layer{i}.weight": rng.standard_normal((rows, cols)).astype(np.float32)
         for i in range(num_tensors)

@@ -9,6 +9,7 @@ asserts it passes against the committed baseline.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -18,12 +19,15 @@ import pytest
 from repro.analysis import (
     LintConfig,
     diff_against_baseline,
+    format_github,
+    format_json,
     load_baseline,
     run_lint,
     scan_suppressions,
     write_baseline,
 )
 from repro.analysis.driver import collect_exports, collect_taxonomy
+from repro.analysis.report import _github_escape
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -359,6 +363,392 @@ class TestPerfMarkerRule:
         assert codes_at(lint(root, "benchmarks"), "R006") == []
 
 
+# --------------------------------------------------------------------- R007
+
+
+class TestDeterminismTaintRule:
+    def test_unseeded_draw_reachable_from_entry_point_with_witness_chain(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/policy.py", (
+            "import numpy as np\n"
+            "def choose(xs):\n"
+            "    return xs[int(np.random.rand() * len(xs))]\n"
+        ))
+        write("src/repro/inference/scheduler.py", (
+            "from ..policy import choose\n"
+            "class ServingEngine:\n"
+            "    def step(self, xs):\n"
+            "        return choose(xs)\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R007"}), "R007")
+        assert len(found) == 1
+        assert found[0].path.endswith("policy.py")
+        assert "ServingEngine.step -> choose" in found[0].message
+        assert "numpy.random.rand" in found[0].message
+
+    def test_unreachable_unseeded_draw_not_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/policy.py", (
+            "import numpy as np\n"
+            "def stray(xs):\n"
+            "    return xs[int(np.random.rand() * len(xs))]\n"
+        ))
+        write("src/repro/inference/scheduler.py", (
+            "class ServingEngine:\n"
+            "    def step(self, xs):\n"
+            "        return xs\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R007"}), "R007") == []
+
+    def test_set_order_escape_on_hot_path(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "class ServingEngine:\n"
+            "    def step(self, items):\n"
+            "        pending = set(items)\n"
+            "        return [x for x in pending]\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R007"}), "R007")
+        assert len(found) == 1 and "set iteration order escapes" in found[0].message
+
+    def test_sorted_set_and_seeded_stream_are_clean(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "from ..utils import derive_rng\n"
+            "class ServingEngine:\n"
+            "    def step(self, items, seed):\n"
+            "        rng = derive_rng(seed, 'sched')\n"
+            "        pending = set(items)\n"
+            "        return sorted(pending), rng.random()\n"
+        ))
+        write("src/repro/utils.py", (
+            "import numpy as np\n"
+            "def derive_rng(seed, *names):\n"
+            "    return np.random.default_rng(seed)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R007"}), "R007") == []
+
+
+# --------------------------------------------------------------------- R008
+
+
+class TestRNGStreamRule:
+    def test_direct_default_rng_construction_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R008"}), "R008")
+        assert len(found) == 1 and "derive streams via repro.utils.derive_rng" in found[0].message
+
+    def test_factory_module_is_exempt(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/utils.py", (
+            "import numpy as np\n"
+            "def derive_rng(seed, *names):\n"
+            "    return np.random.default_rng(seed)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R008"}), "R008") == []
+
+    def test_module_level_stream_global_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .utils import derive_rng\n"
+            "RNG = derive_rng(0, 'shared')\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R008"}), "R008")
+        assert len(found) == 1 and "module-level RNG stream global 'RNG'" in found[0].message
+
+    def test_duplicate_static_tags_flagged_once_per_duplicate(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .utils import derive_rng\n"
+            "def a(seed):\n"
+            "    return derive_rng(seed, 'arrivals')\n"
+            "def b(seed):\n"
+            "    return derive_rng(seed, 'arrivals')\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R008"}), "R008")
+        assert len(found) == 1
+        assert "duplicates an earlier stream in a()" in found[0].message
+
+    def test_distinct_and_dynamic_tags_are_clean(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .utils import derive_rng\n"
+            "def a(seed):\n"
+            "    return derive_rng(seed, 'arrivals')\n"
+            "def b(seed):\n"
+            "    return derive_rng(seed, 'service')\n"
+            "def c(seed, key):\n"
+            "    return derive_rng(seed, 'emb', key), derive_rng(seed, 'emb', key)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R008"}), "R008") == []
+
+    def test_cross_stream_coupled_loop_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", (
+            "from .utils import derive_rng\n"
+            "def sample(seed):\n"
+            "    rng_a = derive_rng(seed, 'count')\n"
+            "    rng_b = derive_rng(seed, 'value')\n"
+            "    n = int(rng_a.integers(1, 5))\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(rng_b.random())\n"
+            "    return out\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R008"}), "R008")
+        assert len(found) == 1
+        assert "trip count drawn from stream 'rng_a'" in found[0].message
+
+
+# --------------------------------------------------------------------- R009
+
+
+class TestLedgerTagRule:
+    def test_unregistered_stage_kind_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/semopt/exec.py", (
+            "def run(ledger, usage):\n"
+            "    ledger.charge(usage, tag='semopt.s0.reduce')\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R009"}), "R009")
+        assert len(found) == 1
+        assert "does not match the registered" in found[0].message
+
+    def test_charged_but_never_read_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/semopt/exec.py", (
+            "def run(ledger, usage):\n"
+            "    ledger.charge(usage, tag='semopt.s0.filter')\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R009"}), "R009")
+        assert len(found) == 1
+        assert "charged but never read" in found[0].message
+
+    def test_valid_tag_read_in_another_module_is_clean(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/semopt/exec.py", (
+            "def run(ledger, usage):\n"
+            "    ledger.charge(usage, tag='semopt.s0.filter')\n"
+        ))
+        write("src/repro/semopt/report.py", (
+            "def stage_cost(ledger):\n"
+            "    return ledger.by_tag.get('semopt.s0.filter', 0.0)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R009"}), "R009") == []
+
+    def test_flat_legacy_and_fstring_tags_exempt(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/semopt/exec.py", (
+            "def run(ledger, usage, i):\n"
+            "    ledger.charge(usage, tag='sft-gen')\n"
+            "    ledger.charge(usage, tag=f'pipe.s{i}.map')\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R009"}), "R009") == []
+
+
+# --------------------------------------------------------------------- R010
+
+
+class TestHotLoopAllocRule:
+    def test_direct_while_loop_allocation_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "class ServingEngine:\n"
+            "    def run(self, horizon):\n"
+            "        t = 0\n"
+            "        while t < horizon:\n"
+            "            batch = list(self.pending)\n"
+            "            t += 1\n"
+            "        return t\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R010"}), "R010")
+        assert len(found) == 1
+        assert "list() allocation inside the per-event while loop" in found[0].message
+
+    def test_numpy_alloc_in_depth_one_callee_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "import numpy as np\n"
+            "class ServingEngine:\n"
+            "    def _snapshot(self):\n"
+            "        return np.zeros(8, dtype=float)\n"
+            "    def run(self, horizon):\n"
+            "        t = 0\n"
+            "        while t < horizon:\n"
+            "            state = self._snapshot()\n"
+            "            t += 1\n"
+            "        return t\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R010"}), "R010")
+        assert len(found) == 1
+        assert "numpy.zeros() in ServingEngine._snapshot()" in found[0].message
+        assert "called per event" in found[0].message
+
+    def test_setup_allocation_outside_while_loop_is_clean(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "import numpy as np\n"
+            "class ServingEngine:\n"
+            "    def run(self, horizon):\n"
+            "        buf = np.zeros(8, dtype=float)\n"
+            "        t = 0\n"
+            "        while t < horizon:\n"
+            "            buf[t % 8] = t\n"
+            "            t += 1\n"
+            "        return buf\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R010"}), "R010") == []
+
+    def test_non_hot_functions_may_allocate_in_loops(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/scheduler.py", (
+            "def offline_report(rows):\n"
+            "    i = 0\n"
+            "    while i < len(rows):\n"
+            "        chunk = list(rows[i])\n"
+            "        i += 1\n"
+            "    return chunk\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R010"}), "R010") == []
+
+
+# --------------------------------------------------------------------- R011
+
+
+class TestResourceLeakRule:
+    def test_early_return_while_holding_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sched.py", (
+            "def place(alloc, req):\n"
+            "    block = alloc.admit(req)\n"
+            "    if block is None:\n"
+            "        return None\n"
+            "    alloc.release(block)\n"
+            "    return req\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R011"}), "R011")
+        assert len(found) == 1
+        assert "kv-block may leak in place()" in found[0].message
+        assert "return on a path still holding" in found[0].message
+
+    def test_raise_while_holding_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sched.py", (
+            "from ..errors import ConfigError\n"
+            "def place(alloc, req, ok):\n"
+            "    block = alloc.admit(req)\n"
+            "    if not ok:\n"
+            "        raise ConfigError('rejected')\n"
+            "    alloc.release(block)\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R011"}), "R011")
+        assert len(found) == 1 and "raises on a path still holding" in found[0].message
+
+    def test_try_finally_release_protects_all_exits(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sched.py", (
+            "from ..errors import ConfigError\n"
+            "def place(alloc, req, ok):\n"
+            "    block = alloc.admit(req)\n"
+            "    try:\n"
+            "        if not ok:\n"
+            "            raise ConfigError('rejected')\n"
+            "        return req\n"
+            "    finally:\n"
+            "        alloc.release(block)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R011"}), "R011") == []
+
+    def test_may_raise_callee_while_holding_flagged(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sched.py", (
+            "from ..errors import ConfigError\n"
+            "def validate(req):\n"
+            "    if req is None:\n"
+            "        raise ConfigError('empty')\n"
+            "def place(alloc, req):\n"
+            "    block = alloc.admit(req)\n"
+            "    validate(req)\n"
+            "    alloc.release(block)\n"
+        ))
+        found = codes_at(lint(root, "src", select={"R011"}), "R011")
+        assert len(found) == 1
+        assert "calls validate() which may raise" in found[0].message
+
+    def test_acquire_only_transfers_ownership(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/sched.py", (
+            "def place(alloc, req):\n"
+            "    return alloc.admit(req)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R011"}), "R011") == []
+
+    def test_outside_resource_scope_not_checked(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/prep/sched.py", (
+            "def place(alloc, req):\n"
+            "    block = alloc.admit(req)\n"
+            "    if block is None:\n"
+            "        return None\n"
+            "    alloc.release(block)\n"
+        ))
+        assert codes_at(lint(root, "src", select={"R011"}), "R011") == []
+
+
+# ------------------------------------------------------- acceptance fixtures
+
+
+class TestAcceptanceFixtures:
+    """The ISSUE's deliberately-broken fixtures, each caught by exactly one rule."""
+
+    def all_codes_for(self, root, filename):
+        result = lint(root, "src")
+        return {v.code for v in result.violations if v.path.endswith(filename)}
+
+    def test_unseeded_draw_under_serving_step_is_exactly_r007(self, fixture_repo):
+        root, write = fixture_repo
+        # The draw lives outside R001's hot-path *file* scope but inside the
+        # entry point's transitive *execution* — only the taint rule sees it.
+        write("src/repro/sampling.py", (
+            "import numpy as np\n"
+            "def pick(xs):\n"
+            "    return xs[int(np.random.rand() * len(xs))]\n"
+        ))
+        write("src/repro/inference/scheduler.py", (
+            "from ..sampling import pick\n"
+            "class ServingEngine:\n"
+            "    def step(self, xs):\n"
+            "        return pick(xs)\n"
+        ))
+        assert self.all_codes_for(root, "sampling.py") == {"R007"}
+
+    def test_leaked_kv_block_on_exception_path_is_exactly_r011(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/inference/placement.py", (
+            "from ..errors import ConfigError\n"
+            "def place(alloc, req, budget):\n"
+            "    block = alloc.admit(req)\n"
+            "    if req.tokens > budget:\n"
+            "        raise ConfigError('over budget')\n"
+            "    alloc.release(block)\n"
+            "    return block\n"
+        ))
+        assert self.all_codes_for(root, "placement.py") == {"R011"}
+
+    def test_unregistered_ledger_tag_is_exactly_r009(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/semopt/stages.py", (
+            "def run_stage(ledger, usage):\n"
+            "    ledger.charge(usage, tag='pipe.s2.reduce')\n"
+        ))
+        assert self.all_codes_for(root, "stages.py") == {"R009"}
+
+
 # -------------------------------------------------------------- suppressions
 
 
@@ -453,6 +843,89 @@ class TestBaseline:
     def test_missing_baseline_file_is_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") == {}
 
+    def test_baseline_survives_line_drift(self, fixture_repo, tmp_path):
+        """Fingerprints are line-free: shifting the finding keeps it baselined."""
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint(root, "src").violations)
+        write("src/repro/mod.py", (
+            "import os\n"
+            "\n"
+            "\n"
+            "def helper():\n"
+            "    return os.sep\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    raise ValueError('x')\n"
+        ))
+        diff = diff_against_baseline(
+            lint(root, "src").violations, load_baseline(baseline_path)
+        )
+        assert diff.ok and not diff.stale and len(diff.baselined) == 1
+
+    def test_baseline_survives_file_rename(self, fixture_repo, tmp_path):
+        """Moving a file re-anchors its baselined findings by code+message."""
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint(root, "src").violations)
+        (root / "src" / "repro" / "mod.py").rename(
+            root / "src" / "repro" / "renamed.py"
+        )
+        diff = diff_against_baseline(
+            lint(root, "src").violations, load_baseline(baseline_path)
+        )
+        assert diff.ok and not diff.stale and len(diff.baselined) == 1
+
+    def test_rename_tolerance_does_not_absorb_extra_findings(self, fixture_repo, tmp_path):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint(root, "src").violations)
+        # Renamed AND duplicated: one occurrence re-anchors, the second is new.
+        (root / "src" / "repro" / "mod.py").rename(
+            root / "src" / "repro" / "renamed.py"
+        )
+        write("src/repro/other.py", "def g():\n    raise ValueError('x')\n")
+        diff = diff_against_baseline(
+            lint(root, "src").violations, load_baseline(baseline_path)
+        )
+        assert len(diff.new) == 1 and len(diff.baselined) == 1
+
+
+# ------------------------------------------------------------ output formats
+
+
+class TestOutputFormats:
+    def test_json_payload_is_stable_and_machine_readable(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        result = lint(root, "src")
+        diff = diff_against_baseline(result.violations, {})
+        payload = json.loads(format_json(
+            new=diff.new, baselined=diff.baselined, stale=diff.stale,
+            files_checked=result.files_checked,
+        ))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == result.files_checked
+        (finding,) = [v for v in payload["new"] if v["code"] == "R002"]
+        assert finding["path"].endswith("mod.py")
+        assert isinstance(finding["line"], int) and finding["line"] > 0
+
+    def test_github_annotations_format_and_escaping(self, fixture_repo):
+        root, write = fixture_repo
+        write("src/repro/mod.py", "def f():\n    raise ValueError('x')\n")
+        diff = diff_against_baseline(lint(root, "src").violations, {})
+        lines = format_github(diff.new).splitlines()
+        assert any(
+            line.startswith("::error file=src/repro/mod.py,line=2,title=R002::")
+            for line in lines
+        )
+        escaped = _github_escape("a\nb%c")
+        assert "\n" not in escaped and escaped == "a%0Ab%25c"
+
 
 # ------------------------------------------------------------------ taxonomy
 
@@ -482,6 +955,19 @@ class TestLiveRepository:
             timeout=300,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_lint_cli_json_format_reports_clean_repo(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint.py"),
+             "--format", "json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True and payload["new"] == []
 
     def test_seeded_violation_is_caught(self, tmp_path):
         """A determinism regression in a hot path must fail the gate."""
