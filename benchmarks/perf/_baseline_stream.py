@@ -1,0 +1,48 @@
+"""Frozen full-rebuild baseline for the streaming-ingestion benchmark.
+
+The streaming path's competitor is not an older implementation of itself
+but the *batch* strategy for keeping a corpus fresh: throw everything away
+and rebuild — one full MinHash dedup, one IDF fit over the survivors, one
+corpus embedding, one index build.  This file pins that recipe so the
+benchmark's baseline cannot silently drift as the library evolves (the
+same role the ``_legacy_*`` modules play for kernel rewrites).  The
+convergence assertions in ``harness_stream`` compare the streamed corpus
+against this rebuild: identical dedup survivors and recall@k within
+tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.synth import TrainingDocument
+from repro.llm.embedding import EmbeddingModel
+from repro.prep.dedup import MinHashDeduper
+from repro.vector.database import Collection
+
+
+def full_rebuild(
+    docs: Sequence[TrainingDocument],
+    *,
+    dim: int,
+    index_type: str,
+    seed: int,
+    index_kwargs: Dict[str, object],
+) -> Tuple[Collection, EmbeddingModel, List[str]]:
+    """Batch-rebuild the retrieval corpus from scratch.
+
+    Returns the fresh collection, its embedder (queries must be embedded
+    in the same IDF space), and the sorted kept doc_ids.
+    """
+    deduper = MinHashDeduper(seed=seed)
+    kept = deduper.dedup(docs).kept
+    embedder = EmbeddingModel(dim=dim, seed=seed)
+    texts = [d.text for d in kept]
+    embedder.fit_idf(texts)
+    vectors = embedder.embed_batch(texts)
+    collection = Collection(
+        "rebuild", dim, index_type=index_type, **index_kwargs
+    )
+    if kept:
+        collection.upsert([d.doc_id for d in kept], vectors=vectors, texts=texts)
+    return collection, embedder, sorted(d.doc_id for d in kept)

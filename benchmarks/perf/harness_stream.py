@@ -1,0 +1,167 @@
+"""Measurement harness for the streaming-ingestion benchmark.
+
+One case streams a labelled corpus (exact + near duplicates injected)
+through :class:`~repro.stream.StreamingCorpus` in arrival order, timing
+every batch with a real clock, then:
+
+* reports steady-state ingest throughput (docs over total service time);
+* reports staleness (arrival -> retrievable) by replaying the recorded
+  per-batch service times through the single-server queue recurrence
+  against a seeded Poisson arrival process pinned at a fixed utilization
+  of the measured capacity — so the staleness numbers are a property of
+  the measured service distribution, not of an arbitrary arrival rate;
+* times the frozen full-rebuild baseline (:mod:`._baseline_stream`) on
+  the same documents and asserts convergence: identical dedup survivors,
+  recall@10 within tolerance of the rebuild (each path scored against
+  exact search in its own embedding space);
+* reports the freshness speedup: the cost of absorbing the final batch
+  incrementally versus rebuilding the whole corpus from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.stream import StreamingCorpus
+from repro.stream.replay import _recall_at_k
+from repro.utils import derive_rng
+
+from ._baseline_stream import full_rebuild
+from .harness_prep import prep_corpus
+
+DIM = 64
+QUERY_COUNT = 64
+RECALL_K = 10
+RECALL_TOLERANCE = 0.05
+
+
+def _staleness(
+    services: List[float], weights: List[int], *, rate: float, seed: int
+) -> Dict[str, float]:
+    """Queue-recurrence staleness for recorded service times at ``rate``
+    batch arrivals/sec (Poisson)."""
+    rng = derive_rng(seed, "stream-bench-arrivals")
+    gaps = rng.exponential(1.0 / rate, size=len(services))
+    arrivals = np.cumsum(gaps)
+    ready = 0.0
+    stale: List[float] = []
+    for arrival, service in zip(arrivals, services):
+        ready = max(float(arrival), ready) + service
+        stale.append(ready - float(arrival))
+    per_doc = np.repeat(
+        np.array(stale, dtype=np.float64), np.array(weights, dtype=np.int64)
+    )
+    return {
+        "mean_s": float(per_doc.mean()),
+        "p95_s": float(np.quantile(per_doc, 0.95)),
+        "max_s": float(per_doc.max()),
+    }
+
+
+def run_stream_case(
+    docs_per_domain: int,
+    index_type: str,
+    *,
+    batch_size: int = 512,
+    utilization: float = 0.8,
+    refresh_threshold: float = 0.1,
+    seed: int = 7,
+    **index_kwargs: object,
+) -> Dict[str, object]:
+    """Stream one corpus end to end; returns throughput, staleness, and
+    convergence against the frozen full rebuild."""
+    docs = prep_corpus(docs_per_domain, seed=seed)
+    corpus = StreamingCorpus(
+        dim=DIM,
+        index_type=index_type,
+        seed=seed,
+        refresh_threshold=refresh_threshold,
+        **index_kwargs,
+    )
+    batches = [docs[i : i + batch_size] for i in range(0, len(docs), batch_size)]
+    services: List[float] = []
+    admitted = evicted = refreshes = rebalances = 0
+    for batch in batches:
+        t0 = time.perf_counter()
+        report = corpus.ingest(batch)
+        services.append(time.perf_counter() - t0)
+        admitted += report.admitted
+        evicted += report.evicted
+        refreshes += int(report.refreshed)
+        rebalances += int(report.rebalanced)
+    total_service = sum(services)
+    docs_per_sec = len(docs) / total_service
+    staleness = _staleness(
+        services,
+        [len(b) for b in batches],
+        rate=utilization * len(batches) / total_service,
+        seed=seed,
+    )
+
+    t0 = time.perf_counter()
+    rebuild_coll, rebuild_embedder, rebuild_kept = full_rebuild(
+        docs, dim=DIM, index_type=index_type, seed=seed, index_kwargs=index_kwargs
+    )
+    rebuild_wall = time.perf_counter() - t0
+
+    assert corpus.live_doc_ids() == rebuild_kept, (
+        "streaming survivors diverged from full re-dedup "
+        f"({len(corpus)} vs {len(rebuild_kept)})"
+    )
+    rng = derive_rng(seed, "stream-bench-queries")
+    query_texts = [
+        docs[int(i)].text
+        for i in rng.integers(0, len(docs), size=QUERY_COUNT)
+    ]
+    stream_recall = _recall_at_k(
+        corpus.collection, corpus.embedder.embed_batch(query_texts), RECALL_K
+    )
+    rebuild_recall = _recall_at_k(
+        rebuild_coll, rebuild_embedder.embed_batch(query_texts), RECALL_K
+    )
+    assert stream_recall >= rebuild_recall - RECALL_TOLERANCE, (
+        f"streaming recall@{RECALL_K} {stream_recall:.3f} fell more than "
+        f"{RECALL_TOLERANCE} below the rebuild's {rebuild_recall:.3f}"
+    )
+
+    return {
+        "workload": {
+            "num_docs": len(docs),
+            "index": index_type,
+            "dim": DIM,
+            "batch_size": batch_size,
+            "utilization": utilization,
+            "refresh_threshold": refresh_threshold,
+            "seed": seed,
+        },
+        "current": {
+            "total_service_s": total_service,
+            "docs_per_sec": docs_per_sec,
+            "staleness": staleness,
+            "median_batch_s": float(np.median(np.array(services, dtype=np.float64))),
+            "last_batch_s": services[-1],
+            "live_docs": len(corpus),
+            "admitted": admitted,
+            "evicted": evicted,
+            "refreshes": refreshes,
+            "rebalances": rebalances,
+        },
+        "baseline": {
+            "full_rebuild_s": rebuild_wall,
+            "kept_docs": len(rebuild_kept),
+        },
+        "convergence": {
+            "survivors_match": True,
+            "stream_recall_at_10": stream_recall,
+            "rebuild_recall_at_10": rebuild_recall,
+            "recall_gap": stream_recall - rebuild_recall,
+        },
+        # Staying fresh: absorbing a typical batch incrementally vs
+        # rebuilding everything from scratch (the median batch, so an
+        # occasional refresh re-embed landing in one batch doesn't skew it).
+        "freshness_speedup": rebuild_wall
+        / float(np.median(np.array(services, dtype=np.float64))),
+    }

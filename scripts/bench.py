@@ -39,6 +39,7 @@ from benchmarks.perf.harness_prep import (  # noqa: E402
     run_lsh_case,
 )
 from benchmarks.perf.harness_semopt import run_semopt_case  # noqa: E402
+from benchmarks.perf.harness_stream import run_stream_case  # noqa: E402
 
 SERVING_SIZES = (1_000, 10_000)
 VECTOR_SIZES = (10_000, 100_000)
@@ -64,7 +65,14 @@ SEMOPT_POOL = 8_000
 SEMOPT_MIXED_ROWS = 50_000
 SEMOPT_MIXED_POOL = 4_000
 
-SUITES = ("serving", "vector", "prep", "fleet", "semopt")
+# Streaming flywheel headline: 100k+ documents through incremental dedup ->
+# online-IDF embedding -> live IVF index (IVF carries the 100k scale; HNSW
+# streams honestly at a smaller scale because its per-row insert is the
+# bottleneck, ~200 rows/s at dim 64 on one core).
+STREAM_HEADLINE_DPD = 14_000  # 6 domains * 1.2 dup factor -> 100_800 docs
+STREAM_HNSW_DPD = 1_000  # -> 7_200 docs
+
+SUITES = ("serving", "vector", "prep", "fleet", "semopt", "stream")
 
 
 def bench_serving(env: Dict[str, str], quick: bool) -> Dict[str, object]:
@@ -363,6 +371,71 @@ def bench_semopt(env: Dict[str, str], quick: bool) -> Dict[str, object]:
     return semopt
 
 
+def bench_stream(env: Dict[str, str], quick: bool) -> Dict[str, object]:
+    ivf_dpd = 150 if quick else STREAM_HEADLINE_DPD
+    hnsw_dpd = 60 if quick else STREAM_HNSW_DPD
+
+    stream: Dict[str, object] = {
+        "env": env,
+        "metric": (
+            "steady-state ingest docs/sec and staleness (arrival -> "
+            "retrievable) at 80% utilization, single run (convergence vs "
+            "the frozen full rebuild asserted per case)"
+        ),
+        "cases": {},
+    }
+    cases = stream["cases"]
+    ivf_kwargs = (
+        {"nlist": 16, "nprobe": 8, "train_size": 256}
+        if quick
+        else {"nlist": 128, "nprobe": 16, "train_size": 1024}
+    )
+    for label, dpd, index_type, kwargs in (
+        ("ivf", ivf_dpd, "ivf", ivf_kwargs),
+        ("hnsw", hnsw_dpd, "hnsw", {"m": 12, "ef_search": 64}),
+    ):
+        print(f"[stream] {index_type} @ {dpd} docs/domain ...", flush=True)
+        case = run_stream_case(dpd, index_type, **kwargs)
+        cases[label] = case
+        print(
+            "  %d docs: %.0f docs/s ingest | staleness mean/p95 %.3f/%.3f s | "
+            "rebuild %.1fs | freshness %.0fx | recall %.3f vs %.3f"
+            % (
+                case["workload"]["num_docs"],
+                case["current"]["docs_per_sec"],
+                case["current"]["staleness"]["mean_s"],
+                case["current"]["staleness"]["p95_s"],
+                case["baseline"]["full_rebuild_s"],
+                case["freshness_speedup"],
+                case["convergence"]["stream_recall_at_10"],
+                case["convergence"]["rebuild_recall_at_10"],
+            )
+        )
+    stream["target"] = (
+        ">=100x freshness (absorb a batch vs full rebuild) at 100k docs; "
+        "survivors identical and recall@10 within 0.05 of the rebuild"
+    )
+    stream["target_met"] = bool(
+        cases and cases["ivf"]["freshness_speedup"] >= 100.0
+    )
+    stream["notes"] = {
+        "ivf": "the 100k headline: persistent-signature-store dedup, pinned "
+        "online IDF with drift-triggered re-embeds, and nearest-centroid "
+        "incremental inserts with occupancy-triggered rebalances keep the "
+        "index live without ever re-signing or re-embedding the corpus "
+        "wholesale.",
+        "hnsw": "streams at reduced scale: graph insert is per-row Python "
+        "(~200 rows/s at dim 64), so the honest headline index for 100k-doc "
+        "streaming is IVF. Delete+repair keeps recall at parity with a "
+        "rebuilt-from-survivors graph (see tests/test_stream.py).",
+        "staleness": "arrival -> retrievable, computed by replaying measured "
+        "per-batch service times through the single-server queue recurrence "
+        "against a seeded Poisson arrival process at 80% of measured "
+        "capacity; reported per document.",
+    }
+    return stream
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -395,6 +468,7 @@ def main() -> int:
         "prep": bench_prep,
         "fleet": bench_fleet,
         "semopt": bench_semopt,
+        "stream": bench_stream,
     }
     for suite in SUITES:
         if suite not in selected:

@@ -77,6 +77,13 @@ python -m pytest "benchmarks/perf/test_perf_fleet.py::test_fleet_smoke" -q -m pe
 step "semopt perf smoke (benchmarks/perf/test_perf_semopt.py::test_semopt_smoke)"
 python -m pytest "benchmarks/perf/test_perf_semopt.py::test_semopt_smoke" -q -m perf || failures=$((failures + 1))
 
+# Streaming smoke: tiny IVF + HNSW streams through the full flywheel
+# (incremental dedup -> pinned online IDF -> live index).  The harness
+# asserts convergence inside every case — identical dedup survivors and
+# recall@10 within tolerance of the frozen full rebuild — on every commit.
+step "stream perf smoke (benchmarks/perf/test_perf_stream.py::test_stream_smoke)"
+python -m pytest "benchmarks/perf/test_perf_stream.py::test_stream_smoke" -q -m perf || failures=$((failures + 1))
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAIL ($failures step(s) failed)"

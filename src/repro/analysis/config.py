@@ -37,6 +37,7 @@ class LintConfig:
         "src/repro/llm/embedding.py",
         "src/repro/prep/dedup.py",
         "src/repro/semopt",
+        "src/repro/stream",
         "src/repro/training",
         "src/repro/vector",
     )
@@ -53,7 +54,11 @@ class LintConfig:
 
     # R003: kernel code whose bitwise-parity guarantees depend on explicit
     # dtypes (see tests/test_vector_batch.py).
-    dtype_prefixes: Tuple[str, ...] = ("src/repro/semopt", "src/repro/vector")
+    dtype_prefixes: Tuple[str, ...] = (
+        "src/repro/semopt",
+        "src/repro/stream",
+        "src/repro/vector",
+    )
     dtype_files: Tuple[str, ...] = (
         "src/repro/inference/fleet.py",
         "src/repro/inference/kvcache.py",

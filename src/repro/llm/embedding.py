@@ -57,6 +57,11 @@ class EmbeddingModel:
     _token_vectors: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
     _doc_freq: Dict[str, int] = field(default_factory=dict, repr=False)
     _num_docs: int = field(default=0, repr=False)
+    # Streaming IDF state (see partial_fit_idf): once pinned, embeddings are
+    # computed from the frozen snapshot while live stats keep accumulating.
+    _pinned_doc_freq: Optional[Dict[str, int]] = field(default=None, repr=False)
+    _pinned_num_docs: int = field(default=0, repr=False)
+    _stale_docs: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.dim < 8:
@@ -80,7 +85,79 @@ class EmbeddingModel:
             doc_freq[token] = doc_freq.get(token, 0) + count
         return self
 
+    def partial_fit_idf(self, new_corpus: Iterable[str]) -> "EmbeddingModel":
+        """Fold a streaming batch's document frequencies into the live stats.
+
+        The first call *pins* the current statistics: from then on
+        :meth:`_idf` (and therefore every embed) reads the pinned snapshot,
+        so vectors already sitting in an index and fresh query vectors stay
+        in the same space no matter how much the live stats drift. Live
+        stats keep accumulating; :meth:`idf_drift` measures how far they
+        have moved and :meth:`refresh` re-pins when the caller is ready to
+        re-embed. Returns self for chaining.
+        """
+        if self._pinned_doc_freq is None:
+            self._pinned_doc_freq = dict(self._doc_freq)
+            self._pinned_num_docs = self._num_docs
+        before = self._num_docs
+        self.fit_idf(new_corpus)
+        self._stale_docs += self._num_docs - before
+        return self
+
+    @property
+    def stale_docs(self) -> int:
+        """Documents folded into live stats since the last pin/refresh."""
+        return self._stale_docs
+
+    def idf_drift(self) -> float:
+        """Live-vs-pinned IDF divergence, weighted by live document frequency.
+
+        ``sum_t df_live(t) * |idf_live(t) - idf_pinned(t)|`` normalized by
+        ``sum_t df_live(t) * idf_live(t)`` — the relative L1 shift of the
+        IDF mass an embedding actually uses (frequency-weighting keeps rare
+        hapax tokens from dominating). 0.0 when nothing is pinned or no
+        documents have been folded in since pinning.
+        """
+        if self._pinned_doc_freq is None or not self._stale_docs:
+            return 0.0
+        live_n = self._num_docs
+        pin_n = self._pinned_num_docs
+        num = 0.0
+        den = 0.0
+        pinned = self._pinned_doc_freq
+        for token, df in self._doc_freq.items():
+            idf_live = math.log((1 + live_n) / (1 + df)) + 1.0
+            pin_df = pinned.get(token, 0)
+            idf_pin = (
+                math.log((1 + pin_n) / (1 + pin_df)) + 1.0 if pin_n else 1.0
+            )
+            num += df * abs(idf_live - idf_pin)
+            den += df * idf_live
+        return num / den if den else 0.0
+
+    def refresh(self, threshold: float = 0.05) -> bool:
+        """Re-pin the live stats iff drift exceeds ``threshold``.
+
+        Returns True when the pin moved — the caller's signal that vectors
+        embedded under the old pin are stale and must be re-embedded (the
+        embedding space changed). Returns False (and changes nothing) while
+        drift stays within tolerance.
+        """
+        if threshold < 0:
+            raise ConfigError(f"refresh threshold must be >= 0, got {threshold}")
+        if self._pinned_doc_freq is None or self.idf_drift() <= threshold:
+            return False
+        self._pinned_doc_freq = dict(self._doc_freq)
+        self._pinned_num_docs = self._num_docs
+        self._stale_docs = 0
+        return True
+
     def _idf(self, token: str) -> float:
+        if self._pinned_doc_freq is not None:
+            if not self._pinned_num_docs:
+                return 1.0
+            df = self._pinned_doc_freq.get(token, 0)
+            return math.log((1 + self._pinned_num_docs) / (1 + df)) + 1.0
         if not self._num_docs:
             return 1.0
         df = self._doc_freq.get(token, 0)

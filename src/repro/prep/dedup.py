@@ -229,6 +229,75 @@ class _UnionFind:
 
 
 @dataclass
+class IncrementalDedupResult:
+    """One streaming batch's admission decisions.
+
+    ``admitted`` are the new documents that joined the kept set;
+    ``rejected`` are new documents subsumed by an already-kept (or
+    earlier-in-batch) document; ``evicted`` are doc_ids of *previously
+    kept* documents that a new document bridged into a cluster with an
+    older representative — exactly what a full re-dedup over the whole
+    ingested corpus would have removed.
+    """
+
+    admitted: List[TrainingDocument]
+    rejected: List[TrainingDocument]
+    evicted: List[str] = field(default_factory=list)
+    candidate_pairs: int = 0
+    verified_pairs: int = 0
+
+
+class SignatureStore:
+    """Persistent MinHash/LSH state for incremental dedup.
+
+    Holds, for every document ever ingested (kept *and* rejected — rejected
+    documents can transitively bridge future candidates, so dropping them
+    would break equivalence with a full re-dedup): its signature band
+    buckets, its unique shingle array, a persistent union-find parent, and
+    the kept flag. Band buckets map band-row bytes to the store indices
+    that produced them, so admitting a batch probes exactly the documents
+    a full LSH banding pass would pair it with.
+    """
+
+    def __init__(self, bands: int) -> None:
+        self.buckets: List[Dict[bytes, List[int]]] = [{} for _ in range(bands)]
+        self.shingles: List[np.ndarray] = []
+        self.docs: List[TrainingDocument] = []
+        self.parent: List[int] = []
+        self.kept: List[bool] = []
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Root at the smaller index so every cluster's root is its oldest
+        # member — the representative a full dedup would keep.
+        if rb < ra:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+
+    def kept_doc_ids(self) -> List[str]:
+        """doc_ids of the currently kept documents, in ingestion order."""
+        return [d.doc_id for d, k in zip(self.docs, self.kept) if k]
+
+    def kept_docs(self) -> List[TrainingDocument]:
+        """The currently kept documents, in ingestion order."""
+        return [d for d, k in zip(self.docs, self.kept) if k]
+
+
+@dataclass
 class DedupResult:
     """Kept documents plus the detected duplicate structure."""
 
@@ -346,9 +415,22 @@ class MinHashDeduper:
         self.rows_per_band = rows_per_band
         self.shingle_size = shingle_size
         self.verify_threshold = verify_threshold
+        self.seed = seed
         rng = derive_rng(seed, "minhash")
         self._a = rng.integers(1, _MERSENNE, size=num_permutations, dtype=np.int64)
         self._b = rng.integers(0, _MERSENNE, size=num_permutations, dtype=np.int64)
+        self._store: Optional[SignatureStore] = None
+
+    @property
+    def store(self) -> SignatureStore:
+        """The persistent signature store (created on first use)."""
+        if self._store is None:
+            self._store = SignatureStore(self.bands)
+        return self._store
+
+    def reset_store(self) -> None:
+        """Discard all incremental state."""
+        self._store = None
 
     def signature(self, shingle_set: Set[int]) -> np.ndarray:
         """MinHash signature of one shingle set."""
@@ -615,6 +697,103 @@ class MinHashDeduper:
             kept=kept,
             removed=removed,
             clusters=[m for m in clusters.values() if len(m) > 1],
+            candidate_pairs=candidate_pairs,
+            verified_pairs=verified_pairs,
+        )
+
+    # ------------------------------------------------------------ streaming
+    def dedup_incremental(
+        self, new_docs: Sequence[TrainingDocument]
+    ) -> IncrementalDedupResult:
+        """Admit a batch against the persistent signature store.
+
+        Only the new documents are shingled and signed; candidates come
+        from probing the existing LSH band buckets (which also surface
+        pairs *within* the batch, since each document is bucketed before
+        the next is probed). Verified pairs feed a persistent union-find
+        whose roots are always the oldest cluster members, so after any
+        sequence of batches the kept set equals :meth:`dedup` run once over
+        the concatenation of every batch — including *evictions*: a new
+        document that bridges two previously distinct clusters demotes the
+        younger representative, and its doc_id is reported in ``evicted``
+        so callers can drop it from downstream stores.
+        """
+        store = self.store
+        base = len(store)
+        shingle_values = shingle_hashes_many(
+            [d.text for d in new_docs], self.shingle_size
+        )
+        signatures = self.signature_many(shingle_values)
+        banded = signatures.reshape(len(new_docs), self.bands, self.rows_per_band)
+        for i, doc in enumerate(new_docs):
+            store.docs.append(doc)
+            store.shingles.append(np.unique(shingle_values[i]))
+            store.parent.append(base + i)
+            store.kept.append(False)
+        threshold = self.verify_threshold
+        shingles = store.shingles
+        candidate_pairs = 0
+        verified_pairs = 0
+        evicted_idx: List[int] = []
+
+        def union_tracking(a: int, b: int) -> None:
+            ra, rb = store.find(a), store.find(b)
+            if ra == rb:
+                return
+            if rb < ra:
+                ra, rb = rb, ra
+            store.parent[rb] = ra
+            if rb < base and store.kept[rb]:
+                # A previously-kept representative just got subsumed by an
+                # older cluster a new document bridged it to.
+                store.kept[rb] = False
+                evicted_idx.append(rb)
+
+        for i in range(len(new_docs)):
+            s = base + i
+            partners: Set[int] = set()
+            for band in range(self.bands):
+                key = banded[i, band].tobytes()
+                bucket = store.buckets[band].get(key)
+                if bucket is None:
+                    store.buckets[band][key] = [s]
+                else:
+                    partners.update(bucket)
+                    bucket.append(s)
+            candidate_pairs += len(partners)
+            if not partners:
+                continue
+            a = shingles[s]
+            a_bytes = a.tobytes()
+            for p in sorted(partners):
+                b = shingles[p]
+                if a.shape[0] == 0 and b.shape[0] == 0:
+                    sim = 1.0
+                elif a.shape[0] == b.shape[0] and a_bytes == b.tobytes():
+                    sim = 1.0
+                elif a.shape[0] == 0 or b.shape[0] == 0:
+                    sim = 0.0
+                else:
+                    inter = int(
+                        np.intersect1d(a, b, assume_unique=True).shape[0]
+                    )
+                    sim = inter / (a.shape[0] + b.shape[0] - inter)
+                if sim >= threshold:
+                    verified_pairs += 1
+                    union_tracking(p, s)
+        admitted: List[TrainingDocument] = []
+        rejected: List[TrainingDocument] = []
+        for i, doc in enumerate(new_docs):
+            s = base + i
+            if store.find(s) == s:
+                store.kept[s] = True
+                admitted.append(doc)
+            else:
+                rejected.append(doc)
+        return IncrementalDedupResult(
+            admitted=admitted,
+            rejected=rejected,
+            evicted=[store.docs[e].doc_id for e in sorted(evicted_idx)],
             candidate_pairs=candidate_pairs,
             verified_pairs=verified_pairs,
         )

@@ -1,0 +1,29 @@
+"""Streaming data flywheel: incremental dedup -> online embed -> live index.
+
+Closes the loop of §2.3 for continuously arriving corpora: the batch prep
+pipeline's stages get incremental counterparts (persistent MinHash
+signature store, pinned/online IDF, insert/delete-capable ANN indexes) and
+this package wires them into one measurable driver with a seeded arrival
+workload, a staleness-accounting replay, and a convergence check against a
+from-scratch rebuild.
+"""
+
+from .corpus import IngestReport, StreamingCorpus
+from .replay import (
+    StreamReport,
+    convergence_check,
+    rebuild_from_scratch,
+    replay,
+)
+from .workload import StreamEvent, poisson_stream
+
+__all__ = [
+    "IngestReport",
+    "StreamEvent",
+    "StreamReport",
+    "StreamingCorpus",
+    "convergence_check",
+    "poisson_stream",
+    "rebuild_from_scratch",
+    "replay",
+]

@@ -1,0 +1,233 @@
+"""Replay driver: run a workload through a StreamingCorpus and measure it.
+
+Staleness (arrival -> retrievable) follows the single-server queue
+recurrence ``ready_i = max(arrival_i, ready_{i-1}) + service_i``: a batch
+cannot start ingesting before it arrives or before the previous batch
+finished, and every document in a batch becomes retrievable when its batch
+finishes. Service times come from an *injected* clock (the perf harness
+passes a monotonic timer) or from a deterministic cost model (tests) —
+this module itself never reads a wall clock, keeping replays reproducible.
+
+``convergence_check`` quantifies the tentpole guarantee: after any replay,
+the incremental path's survivors are identical to a from-scratch rebuild
+and its recall@k matches the rebuild's within tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..llm.embedding import EmbeddingModel
+from ..prep.dedup import MinHashDeduper
+from ..utils import derive_rng
+from ..vector.database import Collection
+from ..vector.flat import FlatIndex
+from .corpus import IngestReport, StreamingCorpus
+from .workload import StreamEvent
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Aggregate metrics of one replay."""
+
+    docs: int
+    admitted: int
+    rejected: int
+    evicted: int
+    refreshes: int
+    rebalances: int
+    total_service: float
+    makespan: float
+    mean_staleness: float
+    p95_staleness: float
+    max_staleness: float
+
+    @property
+    def docs_per_sec(self) -> float:
+        """Steady-state ingest rate (documents over total service time)."""
+        return self.docs / self.total_service if self.total_service > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "docs": float(self.docs),
+            "admitted": float(self.admitted),
+            "rejected": float(self.rejected),
+            "evicted": float(self.evicted),
+            "refreshes": float(self.refreshes),
+            "rebalances": float(self.rebalances),
+            "total_service_s": self.total_service,
+            "makespan_s": self.makespan,
+            "docs_per_sec": self.docs_per_sec,
+            "mean_staleness_s": self.mean_staleness,
+            "p95_staleness_s": self.p95_staleness,
+            "max_staleness_s": self.max_staleness,
+        }
+
+
+def replay(
+    corpus: StreamingCorpus,
+    events: Sequence[StreamEvent],
+    *,
+    clock: Optional[Callable[[], float]] = None,
+    cost_model: Optional[Callable[[IngestReport], float]] = None,
+) -> StreamReport:
+    """Ingest every event in arrival order; returns throughput + staleness.
+
+    Exactly one of ``clock`` (measured service times, e.g.
+    ``time.perf_counter`` injected by the perf harness) or ``cost_model``
+    (deterministic service time per batch report) may be supplied; with
+    neither, service time is zero and staleness reflects pure queueing.
+    """
+    if clock is not None and cost_model is not None:
+        raise ConfigError("pass clock or cost_model, not both")
+    staleness: List[float] = []
+    weights: List[int] = []
+    ready = 0.0
+    total_service = 0.0
+    admitted = rejected = evicted = refreshes = rebalances = 0
+    for event in events:
+        if clock is not None:
+            t0 = clock()
+            report = corpus.ingest(list(event.docs))
+            service = clock() - t0
+        else:
+            report = corpus.ingest(list(event.docs))
+            service = cost_model(report) if cost_model is not None else 0.0
+        total_service += service
+        ready = max(event.arrival, ready) + service
+        staleness.append(ready - event.arrival)
+        weights.append(len(event.docs))
+        admitted += report.admitted
+        rejected += report.rejected
+        evicted += report.evicted
+        refreshes += int(report.refreshed)
+        rebalances += int(report.rebalanced)
+    if not staleness:
+        return StreamReport(
+            docs=0, admitted=0, rejected=0, evicted=0, refreshes=0,
+            rebalances=0, total_service=0.0, makespan=0.0,
+            mean_staleness=0.0, p95_staleness=0.0, max_staleness=0.0,
+        )
+    stale = np.repeat(
+        np.array(staleness, dtype=np.float64),
+        np.array(weights, dtype=np.int64),
+    )
+    return StreamReport(
+        docs=int(stale.shape[0]),
+        admitted=admitted,
+        rejected=rejected,
+        evicted=evicted,
+        refreshes=refreshes,
+        rebalances=rebalances,
+        total_service=total_service,
+        makespan=ready,
+        mean_staleness=float(stale.mean()),
+        p95_staleness=float(np.quantile(stale, 0.95)),
+        max_staleness=float(stale.max()),
+    )
+
+
+# ---------------------------------------------------------------- convergence
+def rebuild_from_scratch(
+    all_docs: Sequence[TrainingDocument],
+    *,
+    like: StreamingCorpus,
+) -> Tuple[Collection, EmbeddingModel, List[str]]:
+    """The frozen baseline: batch-dedup, batch-fit IDF, embed, build fresh.
+
+    Components are reconstructed from ``like``'s hyperparameters (same
+    seeds, same index kwargs) so the only difference from the streaming
+    path is *when* work happened, not *what* was configured.
+    """
+    deduper = MinHashDeduper(
+        num_permutations=like.deduper.num_permutations,
+        bands=like.deduper.bands,
+        rows_per_band=like.deduper.rows_per_band,
+        shingle_size=like.deduper.shingle_size,
+        verify_threshold=like.deduper.verify_threshold,
+        seed=like.deduper.seed,
+    )
+    kept = deduper.dedup(all_docs).kept
+    embedder = EmbeddingModel(
+        dim=like.embedder.dim,
+        seed=like.embedder.seed,
+        stem_len=like.embedder.stem_len,
+        stem_weight=like.embedder.stem_weight,
+        bigram_weight=like.embedder.bigram_weight,
+    )
+    texts = [d.text for d in kept]
+    embedder.fit_idf(texts)
+    vectors = embedder.embed_batch(texts)
+    collection = Collection(
+        "rebuild",
+        like.dim,
+        index_type=like.index_type,
+        metric=like.collection.index.metric,
+        **like.collection.index_kwargs,
+    )
+    if kept:
+        collection.upsert([d.doc_id for d in kept], vectors=vectors, texts=texts)
+    return collection, embedder, sorted(d.doc_id for d in kept)
+
+
+def _recall_at_k(
+    collection: Collection, queries: np.ndarray, k: int
+) -> float:
+    """Mean recall@k of ``collection``'s index against exact flat search
+    over the same vectors (each path scored in its own embedding space)."""
+    ids = sorted(r for r in collection._records)
+    if not ids:
+        return 1.0
+    vectors = np.stack([collection.index.vector(i) for i in ids])
+    exact = FlatIndex(collection.dim, collection.index.metric)
+    exact.add(ids, vectors)
+    truth = exact.search_many(queries, k=k)
+    approx = collection.query_many(vectors=queries, k=k)
+    total = 0.0
+    for t_hits, a_hits in zip(truth, approx):
+        t_ids = {h.id for h in t_hits}
+        if not t_ids:
+            continue
+        total += len(t_ids & {h.id for h in a_hits}) / len(t_ids)
+    return total / len(truth) if truth else 1.0
+
+
+def convergence_check(
+    corpus: StreamingCorpus,
+    all_docs: Sequence[TrainingDocument],
+    *,
+    num_queries: int = 32,
+    k: int = 10,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Compare the streamed corpus against a from-scratch rebuild.
+
+    Returns ``survivors_match`` (1.0 iff the kept doc_id sets are
+    identical — the provable guarantee), each path's recall@k against
+    exact search in its own embedding space, and the gap. Query texts are
+    a seeded sample of the corpus.
+    """
+    rebuild_coll, rebuild_embedder, rebuild_kept = rebuild_from_scratch(
+        all_docs, like=corpus
+    )
+    survivors_match = corpus.live_doc_ids() == rebuild_kept
+    rng = derive_rng(seed, "stream-queries")
+    pick = rng.integers(0, max(len(all_docs), 1), size=num_queries)
+    query_texts = [all_docs[int(i)].text for i in pick]
+    stream_q = corpus.embedder.embed_batch(query_texts)
+    rebuild_q = rebuild_embedder.embed_batch(query_texts)
+    stream_recall = _recall_at_k(corpus.collection, stream_q, k)
+    rebuild_recall = _recall_at_k(rebuild_coll, rebuild_q, k)
+    return {
+        "survivors_match": 1.0 if survivors_match else 0.0,
+        "live_docs": float(len(corpus)),
+        "rebuild_docs": float(len(rebuild_kept)),
+        "stream_recall": stream_recall,
+        "rebuild_recall": rebuild_recall,
+        "recall_gap": stream_recall - rebuild_recall,
+    }

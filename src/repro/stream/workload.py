@@ -1,0 +1,52 @@
+"""Seeded arrival workloads for the streaming-ingestion driver.
+
+Documents arrive in batches at Poisson times (exponential inter-arrivals,
+the standard open-loop model), generated from a derived RNG so the same
+(docs, rate, seed) always produces the same event sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..data.synth import TrainingDocument
+from ..errors import ConfigError
+from ..utils import derive_rng
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One arrival: a batch of documents at an absolute time (seconds)."""
+
+    arrival: float
+    docs: Tuple[TrainingDocument, ...]
+
+
+def poisson_stream(
+    docs: Sequence[TrainingDocument],
+    *,
+    batch_size: int = 64,
+    rate: float = 10.0,
+    seed: int = 0,
+) -> List[StreamEvent]:
+    """Chunk ``docs`` into batches arriving as a Poisson process.
+
+    ``rate`` is batch arrivals per second. Documents keep their input
+    order (ingestion order is semantically meaningful for dedup: the
+    oldest cluster member is the kept representative).
+    """
+    if batch_size < 1:
+        raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+    if rate <= 0:
+        raise ConfigError(f"rate must be positive, got {rate}")
+    num_batches = (len(docs) + batch_size - 1) // batch_size
+    rng = derive_rng(seed, "stream-arrivals")
+    gaps = rng.exponential(1.0 / rate, size=max(num_batches, 1))
+    events: List[StreamEvent] = []
+    t = 0.0
+    for b in range(num_batches):
+        t += float(gaps[b])
+        batch = tuple(docs[b * batch_size : (b + 1) * batch_size])
+        events.append(StreamEvent(arrival=t, docs=batch))
+    return events

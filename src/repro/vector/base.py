@@ -40,12 +40,50 @@ class VectorIndex(abc.ABC):
         self._score_fn = resolve_metric(metric)
         self._ids: List[str] = []
         self._id_to_row: Dict[str, int] = {}
-        self._vectors = np.zeros((0, dim), dtype=np.float32)
-        self._deleted = np.zeros(0, dtype=bool)
+        # Row storage is amortized: the buffers below hold capacity for more
+        # rows than are in use and double when they fill, so a streaming
+        # sequence of small ``add`` calls costs O(1) amortized per row
+        # instead of one O(n) vstack per call.  Subclasses see the in-use
+        # prefix through the ``_vectors`` / ``_deleted`` / ``_row_norms``
+        # view properties and never touch the raw buffers.
+        self._size = 0
+        self._vec_buf = np.zeros((0, dim), dtype=np.float32)
+        self._del_buf = np.zeros(0, dtype=bool)
         # Squared row norms, maintained at insert so l2 ranking can use the
         # expansion trick (2·q·v − ‖v‖²) without recomputing norms per query.
-        self._row_norms = np.zeros(0, dtype=np.float32)
+        self._norm_buf = np.zeros(0, dtype=np.float32)
         self._num_deleted = 0
+
+    # ------------------------------------------------------- storage views
+    @property
+    def _vectors(self) -> np.ndarray:
+        """In-use ``(total_rows, dim)`` slice of the vector buffer."""
+        return self._vec_buf[: self._size]
+
+    @property
+    def _deleted(self) -> np.ndarray:
+        """In-use tombstone mask (True = removed)."""
+        return self._del_buf[: self._size]
+
+    @property
+    def _row_norms(self) -> np.ndarray:
+        """In-use squared row norms."""
+        return self._norm_buf[: self._size]
+
+    def _ensure_rows(self, needed: int) -> None:
+        cap = self._vec_buf.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(needed, cap * 2, 64)
+        vec = np.zeros((new_cap, self.dim), dtype=np.float32)
+        vec[: self._size] = self._vec_buf[: self._size]
+        self._vec_buf = vec
+        dele = np.zeros(new_cap, dtype=bool)
+        dele[: self._size] = self._del_buf[: self._size]
+        self._del_buf = dele
+        norms = np.zeros(new_cap, dtype=np.float32)
+        norms[: self._size] = self._norm_buf[: self._size]
+        self._norm_buf = norms
 
     # ------------------------------------------------------------ ingestion
     def _prepare(self, vectors: np.ndarray) -> np.ndarray:
@@ -69,15 +107,16 @@ class VectorIndex(abc.ABC):
             if vid in self._id_to_row:
                 raise VectorIndexError(f"duplicate id {vid!r}; use remove() first")
         start = len(self._ids)
+        n = vectors.shape[0]
         self._ids.extend(ids)
         for offset, vid in enumerate(ids):
             self._id_to_row[vid] = start + offset
-        self._vectors = np.vstack([self._vectors, vectors])
-        self._deleted = np.concatenate([self._deleted, np.zeros(len(ids), dtype=bool)])
-        self._row_norms = np.concatenate(
-            [self._row_norms, np.einsum("ij,ij->i", vectors, vectors)]
-        )
-        self._on_add(np.arange(start, start + len(ids)), vectors)
+        self._ensure_rows(start + n)
+        self._vec_buf[start : start + n] = vectors
+        self._del_buf[start : start + n] = False
+        self._norm_buf[start : start + n] = np.einsum("ij,ij->i", vectors, vectors)
+        self._size = start + n
+        self._on_add(np.arange(start, start + n), vectors)
 
     def remove(self, vid: str) -> bool:
         """Tombstone one id; returns False if absent."""
@@ -115,7 +154,13 @@ class VectorIndex(abc.ABC):
             return [[] for _ in range(nq)]
         if self.metric == "cosine":
             queries = normalize_rows(queries)
-        per_query = self._search_ids_many(queries, k)
+        # Over-fetch by the live tombstone count: subclasses return ~k
+        # candidates without knowing which rows are masked, so asking for
+        # exactly k after deletions would starve the post-mask truncation
+        # below k even when >= k live rows exist (graph/hash indexes
+        # truncate their candidate pools before _finalize sees them).
+        fetch = k + self._num_deleted if self._num_deleted else k
+        per_query = self._search_ids_many(queries, fetch)
         return [self._finalize(rows_scores, k) for rows_scores in per_query]
 
     def _finalize(self, rows_scores: List[tuple], k: int) -> List[SearchHit]:
@@ -135,6 +180,38 @@ class VectorIndex(abc.ABC):
             if len(hits) == k:
                 break
         return hits
+
+    # ----------------------------------------------------------- compaction
+    def compact(self) -> int:
+        """Physically drop tombstoned rows; returns the rows reclaimed.
+
+        Live rows are left-packed in place (ascending order preserved, so
+        relative row order — and therefore every stable tie-break — is
+        unchanged), id bookkeeping is rebuilt, and subclasses remap their
+        row references via :meth:`_on_compact`.
+        """
+        if not self._num_deleted:
+            return 0
+        live = np.flatnonzero(~self._deleted)
+        total = self._size
+        row_map = np.full(total, -1, dtype=np.int64)
+        n = live.shape[0]
+        row_map[live] = np.arange(n, dtype=np.int64)
+        self._vec_buf[:n] = self._vec_buf[live]
+        self._norm_buf[:n] = self._norm_buf[live]
+        self._del_buf[:n] = False
+        ids = self._ids
+        self._ids = [ids[r] for r in live.tolist()]
+        self._id_to_row = {vid: i for i, vid in enumerate(self._ids)}
+        self._size = n
+        self._num_deleted = 0
+        self._on_compact(live, row_map)
+        return total - n
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Fraction of stored rows that are tombstoned."""
+        return self._num_deleted / self._size if self._size else 0.0
 
     def __len__(self) -> int:
         return len(self._ids) - self._num_deleted
@@ -242,3 +319,12 @@ class VectorIndex(abc.ABC):
 
     def _on_remove(self, row: int) -> None:
         """Hook: react to a tombstoned row."""
+
+    def _on_compact(self, live: np.ndarray, row_map: np.ndarray) -> None:
+        """Hook: remap internal row references after :meth:`compact`.
+
+        ``live`` holds the surviving old row numbers in ascending order;
+        ``row_map[old_row]`` is the new row number, or ``-1`` for rows that
+        were reclaimed. Indexes that store row numbers (cells, buckets,
+        adjacency, codes) must rewrite them here.
+        """

@@ -75,6 +75,10 @@ class Collection:
         self.name = name
         self.dim = dim
         self.index_type = index_type
+        # Remembered so save()/load() can round-trip tuned hyperparameters
+        # (m, ef_search, nlist, ...) instead of silently rebuilding a
+        # default-parameter index from the raw vectors.
+        self.index_kwargs: Dict[str, object] = dict(index_kwargs)
         self.index: VectorIndex = INDEX_TYPES[index_type](dim, metric, **index_kwargs)
         self.embedder = embedder
         self._records: Dict[str, Record] = {}
@@ -92,22 +96,41 @@ class Collection:
 
         Supply either explicit ``vectors`` or ``texts`` (requires an
         embedder). Existing ids are replaced.
+
+        Every input is validated *before* any existing record is touched: a
+        bad batch (length mismatch, repeated id, wrong dimensionality)
+        raises with the collection exactly as it was.
         """
+        ids = list(ids)
+        if len(set(ids)) != len(ids):
+            raise CollectionError("duplicate ids within upsert batch")
+        if texts is not None and len(texts) != len(ids):
+            raise CollectionError("texts length mismatch")
+        if metadatas is not None and len(metadatas) != len(ids):
+            raise CollectionError("metadatas length mismatch")
         if vectors is None:
             if texts is None:
                 raise CollectionError("upsert needs vectors or texts")
             if self.embedder is None:
                 raise CollectionError(f"collection {self.name!r} has no embedder")
             vectors = self.embedder.embed_batch(list(texts))
-        if texts is not None and len(texts) != len(ids):
-            raise CollectionError("texts length mismatch")
-        if metadatas is not None and len(metadatas) != len(ids):
-            raise CollectionError("metadatas length mismatch")
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise CollectionError(
+                f"vectors must be (n, {self.dim}); got shape {vectors.shape}"
+            )
+        if vectors.shape[0] != len(ids):
+            raise CollectionError(
+                f"{len(ids)} ids for {vectors.shape[0]} vectors"
+            )
+        # All checks passed: mutation starts here and cannot fail partway.
         for vid in ids:
             if vid in self._records:
                 self.index.remove(vid)
                 del self._records[vid]
-        self.index.add(list(ids), vectors)
+        self.index.add(ids, vectors)
         for i, vid in enumerate(ids):
             self._records[vid] = Record(
                 id=vid,
@@ -124,7 +147,13 @@ class Collection:
         return True
 
     def get(self, vid: str) -> Optional[Record]:
-        return self._records.get(vid)
+        record = self._records.get(vid)
+        if record is None:
+            return None
+        # Defensive copy (matching _materialize): handing out the stored
+        # metadata dict would let callers corrupt the store that query()'s
+        # `where` filters read.
+        return Record(id=record.id, text=record.text, metadata=dict(record.metadata))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -293,6 +322,7 @@ class VectorDatabase:
                 "dim": coll.dim,
                 "index_type": coll.index_type,
                 "metric": coll.index.metric,
+                "index_kwargs": coll.index_kwargs,
             }
         (root / "manifest.json").write_text(json.dumps(manifest))
 
@@ -312,6 +342,8 @@ class VectorDatabase:
                 int(info["dim"]),
                 index_type=str(info["index_type"]),
                 metric=str(info["metric"]),
+                # Older manifests predate hyperparameter persistence.
+                **dict(info.get("index_kwargs", {})),
             )
             vectors = np.load(root / f"{name}.npz")["vectors"]
             records = json.loads((root / f"{name}.json").read_text())

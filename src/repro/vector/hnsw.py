@@ -48,6 +48,9 @@ class HNSWIndex(VectorIndex):
         build.
     ef_search:
         Candidate-list width during queries; the recall/latency dial.
+    compact_fraction:
+        Tombstone fraction past which :meth:`~VectorIndex.compact` runs
+        automatically after a delete (``1.0`` disables auto-compaction).
     """
 
     def __init__(
@@ -58,15 +61,21 @@ class HNSWIndex(VectorIndex):
         m: int = 16,
         ef_construction: int = 100,
         ef_search: int = 50,
+        compact_fraction: float = 0.3,
         seed: int = 0,
     ) -> None:
         super().__init__(dim, metric)
         if m < 2:
             raise VectorIndexError(f"m must be >= 2, got {m}")
+        if not 0.0 < compact_fraction <= 1.0:
+            raise VectorIndexError(
+                f"compact_fraction must be in (0, 1], got {compact_fraction}"
+            )
         self.m = m
         self.m0 = 2 * m
         self.ef_construction = max(ef_construction, m)
         self.ef_search = ef_search
+        self.compact_fraction = compact_fraction
         self._level_mult = 1.0 / math.log(m)
         self._rng = derive_rng(seed, "hnsw")
         # Per-layer adjacency: _adj[layer][row, :_deg[layer][row]] are the
@@ -145,6 +154,12 @@ class HNSWIndex(VectorIndex):
         self._epoch += 1
         epoch = self._epoch
         visited = self._visited
+        # With live tombstones, stale in-edges may still point at deleted
+        # rows (delete repair rewires out-edges; asymmetric in-edges are
+        # only reclaimed at compaction). Skip them here so deleted nodes
+        # are neither routed through nor returned. The no-deletion path is
+        # untouched — bitwise-identical to the frozen baseline.
+        deleted = self._del_buf if self._num_deleted else None
         entry = np.asarray(entry_rows, dtype=np.int64)
         visited[entry] = epoch
         # Max-heap of candidates by similarity (negated for heapq);
@@ -167,6 +182,10 @@ class HNSWIndex(VectorIndex):
             if fresh.shape[0] == 0:
                 continue
             visited[fresh] = epoch
+            if deleted is not None:
+                fresh = fresh[~deleted[fresh]]
+                if fresh.shape[0] == 0:
+                    continue
             sims = score_fn(query, vectors[fresh])
             if len(results) >= ef:
                 # The result floor only rises while the heap is full, so
@@ -271,6 +290,115 @@ class HNSWIndex(VectorIndex):
             entry = [r for _, r in candidates]
         if level > self._entry_level:
             self._entry, self._entry_level = row, level
+
+    # ------------------------------------------------------------- deletion
+    def _on_remove(self, row: int) -> None:
+        """Delete with graph repair.
+
+        The deleted node is unlinked from every layer it occupies; each of
+        its (out-)neighbours is re-linked through the surviving candidates —
+        its own remaining neighbours plus the deleted node's other
+        neighbours — via the same diversity heuristic used at construction,
+        so local connectivity survives the removal. If the entry point
+        died, a new one is elected from the highest still-populated layer.
+        Stale in-edges (asymmetric links pointing at the deleted row) are
+        skipped at search time and reclaimed by compaction, which runs
+        automatically past ``compact_fraction``.
+        """
+        level = self._node_level.pop(row, None)
+        if level is None:
+            return
+        for layer in range(min(level, len(self._adj) - 1) + 1):
+            adj, deg = self._adj[layer], self._deg[layer]
+            d = int(deg[row])
+            if d < 0:
+                continue
+            nbrs = adj[row, :d].tolist()
+            deg[row] = -1
+            cap = self.m0 if layer == 0 else self.m
+            deleted = self._del_buf
+            live_nbrs = [n for n in nbrs if not deleted[n] and deg[n] >= 0]
+            for n_row in live_nbrs:
+                nd = int(deg[n_row])
+                current = adj[n_row, :nd].tolist()
+                # Drop the deleted row, then offer the deleted node's other
+                # neighbours as bridge candidates (first occurrence wins,
+                # order deterministic: existing links then bridges).
+                candidates: List[int] = []
+                seen = {row, n_row}
+                for c in current:
+                    if c not in seen and not deleted[c]:
+                        seen.add(c)
+                        candidates.append(c)
+                for c in live_nbrs:
+                    if c not in seen:
+                        seen.add(c)
+                        candidates.append(c)
+                if not candidates:
+                    deg[n_row] = 0
+                    continue
+                vec = self._vectors[n_row]
+                cand_rows = np.asarray(candidates, dtype=np.int64)
+                sims = self._score_fn(vec, self._vectors[cand_rows])
+                selected = self._select_neighbours(
+                    vec, list(zip(sims.tolist(), candidates)), cap
+                )
+                adj[n_row, : len(selected)] = selected
+                deg[n_row] = len(selected)
+        if row == self._entry:
+            self._elect_entry()
+        if (
+            self.compact_fraction < 1.0
+            and self.total_rows >= 32
+            and self._num_deleted >= self.compact_fraction * self.total_rows
+        ):
+            self.compact()
+
+    def _elect_entry(self) -> None:
+        """Re-elect the entry point from the highest populated layer."""
+        for layer in range(len(self._adj) - 1, -1, -1):
+            deg = self._deg[layer][: self.total_rows]
+            rows = np.flatnonzero((deg >= 0) & ~self._deleted)
+            if rows.shape[0]:
+                self._entry = int(rows[0])
+                self._entry_level = layer
+                return
+        self._entry, self._entry_level = -1, -1
+
+    def _on_compact(self, live: np.ndarray, row_map: np.ndarray) -> None:
+        total = row_map.shape[0]
+        for layer, (adj, deg) in enumerate(zip(self._adj, self._deg)):
+            new_adj = np.empty_like(adj)
+            new_deg = np.full(deg.shape[0], -1, dtype=np.int64)
+            for old in live.tolist():
+                d = int(deg[old])
+                if d < 0:
+                    continue
+                new = int(row_map[old])
+                if d:
+                    # Remap neighbours, dropping stale links to dead rows.
+                    mapped = row_map[adj[old, :d]]
+                    mapped = mapped[mapped >= 0]
+                    new_adj[new, : mapped.shape[0]] = mapped
+                    new_deg[new] = mapped.shape[0]
+                else:
+                    new_deg[new] = 0
+            self._adj[layer] = new_adj
+            self._deg[layer] = new_deg
+        self._node_level = {
+            int(row_map[old]): lvl
+            for old, lvl in self._node_level.items()
+            if old < total and row_map[old] >= 0
+        }
+        # Stale visited marks would alias remapped rows; reset the epoch.
+        self._visited[:] = 0
+        self._epoch = 0
+        if self._entry >= 0:
+            # remove() re-elects before compaction triggers, so the entry is
+            # always live here and maps to a real row.
+            self._entry = int(row_map[self._entry])
+        if self._entry < 0:
+            self._elect_entry()
 
     # --------------------------------------------------------------- search
     def _search_ids_many(self, queries: np.ndarray, k: int) -> List[List[tuple]]:

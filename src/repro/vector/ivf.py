@@ -11,6 +11,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..errors import VectorIndexError
+from ..utils import derive_seed
 from .base import VectorIndex
 from .kmeans import kmeans
 
@@ -27,6 +28,9 @@ class IVFIndex(VectorIndex):
     train_size:
         Rows required before the quantizer trains; until then the index
         answers by brute force (as faiss does before training).
+    rebalance_skew:
+        Live-occupancy skew (max cell / ideal cell) past which
+        :meth:`maybe_rebalance` retrains the coarse quantizer.
     """
 
     def __init__(
@@ -37,14 +41,20 @@ class IVFIndex(VectorIndex):
         nlist: int = 32,
         nprobe: int = 4,
         train_size: int = 256,
+        rebalance_skew: float = 4.0,
         seed: int = 0,
     ) -> None:
         super().__init__(dim, metric)
         if nlist <= 0 or nprobe <= 0:
             raise VectorIndexError("nlist and nprobe must be positive")
+        if rebalance_skew < 1.0:
+            raise VectorIndexError(
+                f"rebalance_skew must be >= 1.0, got {rebalance_skew}"
+            )
         self.nlist = nlist
         self.nprobe = min(nprobe, nlist)
         self.train_size = train_size
+        self.rebalance_skew = rebalance_skew
         self.seed = seed
         self._centroids: np.ndarray = np.zeros((0, dim), dtype=np.float32)
         self._cells: Dict[int, List[int]] = {}
@@ -53,6 +63,12 @@ class IVFIndex(VectorIndex):
         # "lists hold the vectors" layout real IVF implementations use, so
         # scoring a cell is a straight GEMM with no gather.
         self._cell_arrays: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Streaming-maintenance bookkeeping: row -> assigned cell plus live
+        # occupancy per cell (tombstoned rows stay in the cell list until
+        # compaction but stop counting here).
+        self._row_cell: Dict[int, int] = {}
+        self._cell_live: Dict[int, int] = {}
+        self._rebalances = 0
         self._trained = False
 
     # ------------------------------------------------------------- training
@@ -68,8 +84,13 @@ class IVFIndex(VectorIndex):
         self._centroids = result.centroids
         self._cells = {}
         self._cell_arrays = {}
+        self._row_cell = {}
+        self._cell_live = {}
         for local, row in enumerate(live_rows):
-            self._cells.setdefault(int(result.assignments[local]), []).append(int(row))
+            cell = int(result.assignments[local])
+            self._cells.setdefault(cell, []).append(int(row))
+            self._row_cell[int(row)] = cell
+            self._cell_live[cell] = self._cell_live.get(cell, 0) + 1
         self._trained = True
 
     def _assign_cell(self, vector: np.ndarray) -> int:
@@ -78,12 +99,23 @@ class IVFIndex(VectorIndex):
 
     def _on_add(self, rows: np.ndarray, vectors: np.ndarray) -> None:
         if self._trained:
+            # Incremental insert: nearest-centroid assignment per new row,
+            # occupancy tracked so maybe_rebalance can detect drift.
             for row, vec in zip(rows, vectors):
                 cell = self._assign_cell(vec)
                 self._cells.setdefault(cell, []).append(int(row))
+                self._row_cell[int(row)] = cell
+                self._cell_live[cell] = self._cell_live.get(cell, 0) + 1
                 self._cell_arrays.pop(cell, None)
         else:
             self._maybe_train()
+
+    def _on_remove(self, row: int) -> None:
+        if not self._trained:
+            return
+        cell = self._row_cell.pop(row, None)
+        if cell is not None:
+            self._cell_live[cell] -= 1
 
     def _cell_entry(self, cell: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         entry = self._cell_arrays.get(cell)
@@ -177,6 +209,74 @@ class IVFIndex(VectorIndex):
         return results
 
     # --------------------------------------------------------- maintenance
+    def cell_occupancy(self) -> Dict[int, int]:
+        """Live row count per cell (tombstones excluded)."""
+        return {cell: n for cell, n in sorted(self._cell_live.items()) if n > 0}
+
+    def occupancy_skew(self) -> float:
+        """Max live cell occupancy over the ideal (uniform) occupancy."""
+        if not self._trained or not self._cell_live:
+            return 1.0
+        live_total = sum(n for n in self._cell_live.values() if n > 0)
+        if not live_total:
+            return 1.0
+        ideal = live_total / max(self._centroids.shape[0], 1)
+        return max(self._cell_live.values()) / ideal if ideal else 1.0
+
+    def rebalance(self) -> None:
+        """Retrain the coarse quantizer on the live rows and reassign.
+
+        Deterministic: the k-means seed is derived from the index seed and
+        a monotone rebalance counter, so the same ingestion history always
+        produces the same cells.
+        """
+        if not self._trained:
+            return
+        self._rebalances += 1
+        live_rows = np.flatnonzero(~self._deleted)
+        if not live_rows.shape[0]:
+            return
+        result = kmeans(
+            self._vectors[live_rows],
+            min(self.nlist, len(live_rows)),
+            seed=derive_seed(self.seed, "ivf-rebalance", self._rebalances) % (2**31),
+        )
+        self._centroids = result.centroids
+        self._cells = {}
+        self._cell_arrays = {}
+        self._row_cell = {}
+        self._cell_live = {}
+        for local, row in enumerate(live_rows):
+            cell = int(result.assignments[local])
+            self._cells.setdefault(cell, []).append(int(row))
+            self._row_cell[int(row)] = cell
+            self._cell_live[cell] = self._cell_live.get(cell, 0) + 1
+
+    def maybe_rebalance(self) -> bool:
+        """Rebalance iff live occupancy skew exceeds ``rebalance_skew``."""
+        if not self._trained or self.occupancy_skew() <= self.rebalance_skew:
+            return False
+        self.rebalance()
+        return True
+
+    def _on_compact(self, live: np.ndarray, row_map: np.ndarray) -> None:
+        if not self._trained:
+            return
+        cells: Dict[int, List[int]] = {}
+        row_cell: Dict[int, int] = {}
+        cell_live: Dict[int, int] = {}
+        for cell, rows in self._cells.items():
+            mapped = [int(row_map[r]) for r in rows if row_map[r] >= 0]
+            if mapped:
+                cells[cell] = mapped
+                for r in mapped:
+                    row_cell[r] = cell
+                cell_live[cell] = len(mapped)
+        self._cells = cells
+        self._row_cell = row_cell
+        self._cell_live = cell_live
+        self._cell_arrays = {}
+
     def scanned_fraction(self) -> float:
         """Approximate fraction of the index a query touches (for reports)."""
         if not self._trained or not self._cells:

@@ -101,6 +101,15 @@ class LSHIndex(VectorIndex):
         probe = self._probe
         return [probe(query, k) for query in queries]
 
+    def _on_compact(self, rows_live: np.ndarray, row_map: np.ndarray) -> None:
+        for t, table in enumerate(self._tables):
+            rebuilt: Dict[int, List[int]] = {}
+            for key, rows in table.items():
+                mapped = [int(row_map[r]) for r in rows if row_map[r] >= 0]
+                if mapped:
+                    rebuilt[key] = mapped
+            self._tables[t] = rebuilt
+
     def bucket_stats(self) -> Dict[str, float]:
         """Mean bucket occupancy across tables (for tuning docs/tests)."""
         sizes = [len(rows) for table in self._tables for rows in table.values()]

@@ -122,6 +122,10 @@ class PQIndex(VectorIndex):
                 )
         return results
 
+    def _on_compact(self, live: np.ndarray, row_map: np.ndarray) -> None:
+        if self._codebooks is not None:
+            self._codes = self._codes[live]
+
     # ----------------------------------------------------------- reporting
     def compression_ratio(self) -> float:
         """float32 bytes per vector divided by PQ code bytes per vector."""
