@@ -69,6 +69,15 @@ python -m pytest "benchmarks/perf/test_perf_prep.py::test_prep_smoke" -q -m perf
 step "fleet perf smoke (benchmarks/perf/test_perf_fleet.py::test_fleet_smoke)"
 python -m pytest "benchmarks/perf/test_perf_fleet.py::test_fleet_smoke" -q -m perf || failures=$((failures + 1))
 
+# Disagg perf smoke: tiny-scale run of the prefill/decode pool DES over
+# all three prefill policies plus the faulty (deaths + transfer faults +
+# migration + warm-up autoscale) scenario.  The speedup thresholds live in
+# the perf-marked suite; this gate is about the bitwise trajectory parity
+# the harness asserts between the sharded pool DES and its frozen naive
+# baseline on every commit.
+step "disagg perf smoke (benchmarks/perf/test_perf_disagg.py::test_disagg_smoke)"
+python -m pytest "benchmarks/perf/test_perf_disagg.py::test_disagg_smoke" -q -m perf || failures=$((failures + 1))
+
 # Semopt perf smoke: tiny-scale run of both semantic-pipeline shapes
 # (cascade and join/topk/group-count) against the frozen naive executor.
 # The speedup thresholds live in the perf-marked suite; this gate is about

@@ -62,6 +62,7 @@ class LintConfig:
     dtype_files: Tuple[str, ...] = (
         "src/repro/inference/fleet.py",
         "src/repro/inference/kvcache.py",
+        "src/repro/inference/pools.py",
         "src/repro/inference/router.py",
         "src/repro/llm/embedding.py",
         "src/repro/prep/dedup.py",
@@ -84,6 +85,7 @@ class LintConfig:
         "src/repro/inference/scheduler.py::ServingEngine.step",
         "src/repro/inference/fleet.py::ClusterFleet.run",
         "src/repro/inference/fleet.py::EngineFleet.run",
+        "src/repro/inference/pools.py::run_pool_fleet",
         "src/repro/semopt/executor.py::SemExecutor.run",
         "src/repro/prep/pipeline.py::PrepPipeline.run",
     )
@@ -109,6 +111,7 @@ class LintConfig:
         "src/repro/inference/scheduler.py::ServingEngine.step",
         "src/repro/inference/fleet.py::ClusterFleet.run",
         "src/repro/inference/fleet.py::EngineFleet.run",
+        "src/repro/inference/pools.py::run_pool_fleet",
     )
 
     # R011: resource protocols as (name, acquire methods, release methods).

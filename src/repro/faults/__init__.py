@@ -27,11 +27,14 @@ from .plan import (
     GPU_CRASH,
     KV_DEGRADED,
     KV_TRANSFER_FAIL,
+    POOL_TARGET_PREFIX,
+    POOL_TARGET_ROLES,
     RANK_DEATH,
     REPLICA_DEATH,
     FaultEvent,
     FaultInjector,
     FaultPlan,
+    pool_target,
 )
 from .retry import RetryPolicy
 
@@ -40,10 +43,13 @@ __all__ = [
     "GPU_CRASH",
     "KV_DEGRADED",
     "KV_TRANSFER_FAIL",
+    "POOL_TARGET_PREFIX",
+    "POOL_TARGET_ROLES",
     "RANK_DEATH",
     "REPLICA_DEATH",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "RetryPolicy",
+    "pool_target",
 ]

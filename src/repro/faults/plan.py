@@ -37,8 +37,37 @@ KV_DEGRADED = "kv_degraded"
 RANK_DEATH = "rank_death"
 #: A whole serving replica drops out of the fleet: its queue, KV, and prefix
 #: caches are lost and every in-flight request must be re-routed to a
-#: surviving replica (see ``inference.fleet``).
+#: surviving replica (see ``inference.fleet``).  In a disaggregated fleet
+#: (``inference.pools``) the ``target`` may name a slot (``"replica-3"``) or
+#: a role pool (``"pool-prefill"`` / ``"pool-decode"`` / ``"pool-colocated"``,
+#: see :func:`pool_target`): the victim is then drawn round-robin from that
+#: pool's live replicas only.
 REPLICA_DEATH = "replica_death"
+
+#: Prefix a :data:`REPLICA_DEATH` target with this to kill a replica from a
+#: specific role pool instead of a fixed slot.
+POOL_TARGET_PREFIX = "pool-"
+
+#: Role names accepted after :data:`POOL_TARGET_PREFIX`.
+POOL_TARGET_ROLES: Tuple[str, ...] = ("prefill", "decode", "colocated")
+
+
+def pool_target(target: Optional[str]) -> Optional[str]:
+    """The role pool a :data:`REPLICA_DEATH` target names, or ``None``.
+
+    ``"pool-decode"`` -> ``"decode"``; slot targets (``"replica-3"``) and
+    ``None`` return ``None``.  Unknown pool names raise ``ConfigError`` so a
+    typo cannot silently turn a targeted death into a no-op.
+    """
+    if target is None or not target.startswith(POOL_TARGET_PREFIX):
+        return None
+    role = target[len(POOL_TARGET_PREFIX):]
+    if role not in POOL_TARGET_ROLES:
+        raise ConfigError(
+            f"unknown pool target {target!r}; have "
+            + ", ".join(POOL_TARGET_PREFIX + r for r in POOL_TARGET_ROLES)
+        )
+    return role
 
 FAULT_KINDS: Tuple[str, ...] = (
     GPU_CRASH,

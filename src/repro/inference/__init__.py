@@ -35,7 +35,21 @@ from .fleet import (
     summarize_fleet,
 )
 from .kvcache import KVStats, PagedAllocator, ReservedAllocator
-from .metrics import ServingReport, summarize
+from .metrics import (
+    PhaseStats,
+    PoolBreakdown,
+    ServingReport,
+    fleet_phase_breakdown,
+    phase_breakdown,
+    summarize,
+)
+from .pools import (
+    ROLE_NAMES,
+    DisaggEngineFleet,
+    MigrationPolicy,
+    PoolSpec,
+    make_pool_routers,
+)
 from .prefix import PrefixCacheSimulator, PrefixReport, compare_policies
 from .request import SLO, Request
 from .router import (
@@ -48,6 +62,7 @@ from .router import (
     make_router,
 )
 from .scheduler import (
+    STEP_HANDOFF,
     ContinuousBatchScheduler,
     ShortestJobFirstScheduler,
     IterationCost,
@@ -69,11 +84,13 @@ __all__ = [
     "AutoscalePolicy", "ClusterFleet", "EngineFleet", "FleetReport", "FleetResult",
     "FleetWorkload", "ReplicaModel", "fleet_poisson_workload", "summarize_fleet",
     "KVStats", "PagedAllocator", "ReservedAllocator",
-    "ServingReport", "summarize",
+    "PhaseStats", "PoolBreakdown", "ServingReport",
+    "fleet_phase_breakdown", "phase_breakdown", "summarize",
     "PrefixCacheSimulator", "PrefixReport", "compare_policies",
+    "ROLE_NAMES", "DisaggEngineFleet", "MigrationPolicy", "PoolSpec", "make_pool_routers",
     "SLO", "Request",
     "ROUTER_NAMES", "LeastLoadedRouter", "PrefixAwareRouter", "RandomRouter",
     "Router", "RouterState", "make_router",
-    "ContinuousBatchScheduler", "ShortestJobFirstScheduler", "IterationCost", "ServingEngine", "StaticBatchScheduler",
+    "STEP_HANDOFF", "ContinuousBatchScheduler", "ShortestJobFirstScheduler", "IterationCost", "ServingEngine", "StaticBatchScheduler",
     "LengthDistribution", "multi_turn_workload", "poisson_workload", "shared_prefix_workload",
 ]

@@ -14,7 +14,6 @@ E4 sweeps GPU splits and reports per-GPU goodput under joint SLOs.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -23,36 +22,18 @@ from .metrics import ServingReport, summarize
 from .request import SLO, Request
 from .scheduler import ContinuousBatchScheduler, IterationCost, ServingEngine
 
+# TransferModel grew up and moved out: the fleet-scale pool DES
+# (repro.inference.pools) prices its handoffs and migrations with the same
+# model, so it now lives in repro.inference.transfer.  Re-exported here for
+# backward compatibility with the original two-lane E4 API.
+from .transfer import TransferModel
 
-@dataclass(frozen=True)
-class TransferModel:
-    """KV shipping cost between prefill and decode pools.
-
-    ``overlap`` is the fraction hidden behind decode compute (both
-    Mooncake and AttentionStore overlap transmission with computation).
-    """
-
-    bytes_per_token: float = 160_000.0  # 2 * layers * hidden * 2B for a 7B-class model
-    bandwidth: float = 50e9  # NVLink/IB bytes/s
-    overlap: float = 0.8
-
-    def __post_init__(self) -> None:
-        # overlap > 1 yields *negative* visible delay and non-positive
-        # bandwidth/bytes_per_token yields infinite or negative wire time —
-        # all of which silently corrupt E4 goodput downstream.
-        if not 0.0 <= self.overlap <= 1.0:
-            raise ConfigError("overlap must be in [0, 1]")
-        if self.bandwidth <= 0.0:
-            raise ConfigError("bandwidth must be positive")
-        if self.bytes_per_token <= 0.0:
-            raise ConfigError("bytes_per_token must be positive")
-
-    def raw_delay(self, prompt_tokens: int) -> float:
-        """Wire time of the full KV payload, before any compute overlap."""
-        return prompt_tokens * self.bytes_per_token / self.bandwidth
-
-    def visible_delay(self, prompt_tokens: int) -> float:
-        return self.raw_delay(prompt_tokens) * (1.0 - self.overlap)
+__all__ = [
+    "TransferModel",
+    "simulate_colocated",
+    "simulate_disaggregated",
+    "sweep_splits",
+]
 
 
 def _split_round_robin(requests: Sequence[Request], n: int) -> List[List[Request]]:

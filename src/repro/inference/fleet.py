@@ -48,7 +48,7 @@ import heapq
 from collections import deque
 from dataclasses import dataclass
 from math import log
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,9 @@ from ..utils import derive_rng, percentile
 from .request import SLO, Request
 from .router import Router, RouterState
 from .scheduler import STEP_IDLE, ServingEngine
+
+if TYPE_CHECKING:  # pools imports fleet; the reverse edge is lazy
+    from .pools import PoolSpec
 
 _INF = float("inf")
 
@@ -249,7 +252,14 @@ class AutoscalePolicy:
 # ================================================================ results
 @dataclass
 class FleetResult:
-    """Per-request outcome columns plus fleet counters from a cluster run."""
+    """Per-request outcome columns plus fleet counters from a cluster run.
+
+    The trailing block only fills on disaggregated runs
+    (:mod:`repro.inference.pools`): which decode replica served each
+    request, when its decode admission happened, and the pool-level
+    counters (KV handoffs, migrations, re-prefills).  Plain colocated
+    runs leave the arrays ``None`` and the counters 0.
+    """
 
     replica: np.ndarray
     start_s: np.ndarray
@@ -266,9 +276,27 @@ class FleetResult:
     reroutes: int
     served_per_replica: np.ndarray
     sim_end_s: float
+    decode_replica: Optional[np.ndarray] = None
+    decode_start_s: Optional[np.ndarray] = None
+    handoffs: int = 0
+    migrations: int = 0
+    shipped_migrations: int = 0
+    reprefills: int = 0
 
     def equals(self, other: "FleetResult") -> bool:
-        """Bitwise parity: every column and counter identical."""
+        """Bitwise parity: every column and counter identical.
+
+        The optional decode columns are compared when both sides carry
+        them (every pool-DES parity case does); a plain run's ``None``
+        against a pool run's array is not a comparison the parity suite
+        makes, so it is treated as "no shared column to compare".
+        """
+
+        def opt_eq(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+            if a is None or b is None:
+                return True
+            return np.array_equal(a, b, equal_nan=np.issubdtype(a.dtype, np.floating))
+
         return (
             np.array_equal(self.replica, other.replica)
             and np.array_equal(self.start_s, other.start_s, equal_nan=True)
@@ -278,12 +306,18 @@ class FleetResult:
             and np.array_equal(self.rejected, other.rejected)
             and np.array_equal(self.prefix_hit_tokens, other.prefix_hit_tokens)
             and np.array_equal(self.served_per_replica, other.served_per_replica)
+            and opt_eq(self.decode_replica, other.decode_replica)
+            and opt_eq(self.decode_start_s, other.decode_start_s)
             and self.completed == other.completed
             and self.rejected_total == other.rejected_total
             and self.deaths == other.deaths
             and self.spawns == other.spawns
             and self.drains == other.drains
             and self.reroutes == other.reroutes
+            and self.handoffs == other.handoffs
+            and self.migrations == other.migrations
+            and self.shipped_migrations == other.shipped_migrations
+            and self.reprefills == other.reprefills
             and self.sim_end_s == other.sim_end_s
         )
 
@@ -401,18 +435,29 @@ class ClusterFleet:
         retry: Optional[RetryPolicy] = None,
         shed_slo: Optional[SLO] = None,
         autoscale: Optional[AutoscalePolicy] = None,
+        pools: Optional["PoolSpec"] = None,
+        decode_router: Optional[Router] = None,
     ) -> None:
         if n_replicas <= 0:
             raise ConfigError("n_replicas must be positive")
+        if pools is not None and pools.total != n_replicas:
+            raise ConfigError(
+                f"pool spec covers {pools.total} replicas but n_replicas={n_replicas}"
+            )
+        if pools is None and decode_router is not None:
+            raise ConfigError("decode_router needs a pool spec to route over")
         self.router = router
         self.model = model or ReplicaModel()
         self.retry = retry or RetryPolicy()
         self.shed_slo = shed_slo
         self.autoscale = autoscale
+        self.pools = pools
+        self.decode_router = decode_router
         self.n_replicas = n_replicas
         self.max_replicas = (
             max(n_replicas, autoscale.max_replicas) if autoscale else n_replicas
         )
+        self._faults = faults
         self._deaths: List[FaultEvent] = (
             faults.of_kind(REPLICA_DEATH) if faults is not None else []
         )
@@ -423,6 +468,10 @@ class ClusterFleet:
     # here must preserve bitwise FleetResult parity with that frozen code.
     def run(self, workload: FleetWorkload) -> FleetResult:
         """Simulate the trace to completion; returns per-request outcomes."""
+        if self.pools is not None:
+            from .pools import run_pool_fleet  # lazy: pools imports fleet
+
+            return run_pool_fleet(self, workload)
         model = self.model
         n = workload.n
         need_l: List[int] = (workload.prompt_tokens + workload.output_tokens).tolist()

@@ -40,6 +40,15 @@ class Request:
     # request shed by SLO-aware admission control instead of served.
     retries: int = 0
     rejected: bool = False
+    # Disaggregated-serving timeline (filled by DisaggEngineFleet):
+    # ``handoff_s`` is when the prompt KV landed on the decode side (it
+    # doubles as the request's effective arrival time at the decode
+    # engine), ``kv_shipped`` whether the ship succeeded (False = the
+    # decode engine re-prefills from scratch), and ``decode_admitted_s``
+    # when the decode engine actually admitted the request.
+    handoff_s: Optional[float] = None
+    kv_shipped: bool = False
+    decode_admitted_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:

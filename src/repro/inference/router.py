@@ -134,11 +134,16 @@ class RandomRouter(Router):
     name = "random"
     _BUFFER = 8192
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, stream: str = "router") -> None:
+        # ``stream`` names the derive_rng sub-stream, so two RandomRouters
+        # in one fleet (e.g. prefill + decode pools) can draw from
+        # independent sequences off the same seed: pass "router-decode"
+        # for the decode-side router (rule R008 naming).
         self.seed = seed
+        self.stream = stream
 
     def _setup(self) -> None:
-        self._rng = derive_rng(self.seed, "fleet", "router")
+        self._rng = derive_rng(self.seed, "fleet", self.stream)
         self._buf = np.zeros(0, dtype=np.float64)
         self._ptr = 0
 

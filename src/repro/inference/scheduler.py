@@ -41,6 +41,16 @@ from .request import SLO, Request
 STEP_RAN = "ran"
 STEP_ADVANCED = "advanced"
 STEP_IDLE = "idle"
+STEP_HANDOFF = "handoff"
+
+
+def _arrival_time(request: Request) -> float:
+    """A request's effective arrival at *this* engine.
+
+    For a disaggregated handoff the request reaches the decode engine when
+    its KV ship lands (``handoff_s``), not at its original fleet arrival.
+    """
+    return request.handoff_s if request.handoff_s is not None else request.arrival_s
 
 
 @dataclass(frozen=True)
@@ -239,6 +249,12 @@ class ServingEngine:
     surviving capacity saturates).  With ``faults=None`` *or* an empty plan,
     every fault branch is dead and trajectories stay bit-identical to the
     fault-free engine (guarded by ``tests/test_scheduler_golden.py``).
+
+    ``handoff_mode=True`` turns the engine into a prefill-pool worker
+    (DistServe): sequences retire at their first token into a drain list
+    (:meth:`drain_finished`) and ``step`` reports :data:`STEP_HANDOFF`;
+    :class:`~repro.inference.pools.DisaggEngineFleet` prices the KV ship
+    and forwards each request to a decode engine.
     """
 
     def __init__(
@@ -252,6 +268,7 @@ class ServingEngine:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         shed_slo: Optional[SLO] = None,
+        handoff_mode: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.allocator = allocator
@@ -260,6 +277,13 @@ class ServingEngine:
         self.keep_prefix_on_release = keep_prefix_on_release
         self.retry = retry or RetryPolicy()
         self.shed_slo = shed_slo
+        # Prefill-pool mode (DistServe): a sequence retires at its first
+        # token instead of decoding locally; the fleet layer drains it via
+        # :meth:`drain_finished` and ships its KV to a decode engine.
+        self.handoff_mode = handoff_mode
+        self.handoffs = 0
+        self._handoff_done: List[Request] = []
+        self._handoff_release: List[str] = []
         self.running: Dict[str, _Running] = {}
         self.now = 0.0
         self.iterations = 0
@@ -396,6 +420,15 @@ class ServingEngine:
             )
 
     # ------------------------------------------------------------ admission
+    def _complete_on_arrival(self, request: Request) -> None:
+        """Finish a shipped request whose whole generation was its first
+        token: nothing to decode, so the KV reserved at admission is
+        released immediately (this helper owns that release)."""
+        request.finished_s = self.now
+        self.completed_total += 1
+        if self.allocator is not None:
+            self.allocator.release(request.request_id)
+
     def _try_admit(self, queue: Deque[Request]) -> None:
         if not self.scheduler.may_admit(self):
             return
@@ -419,12 +452,15 @@ class ServingEngine:
         self._preempted = still_waiting
         if self._retry_queue:
             self._admit_retries(cap)
-        while queue and queue[0].arrival_s <= self.now:
-            if self.shed_slo is not None and (
-                self.now - queue[0].arrival_s > self.shed_slo.ttft_s
+        while queue and _arrival_time(queue[0]) <= self.now:
+            if (
+                self.shed_slo is not None
+                and queue[0].handoff_s is None
+                and self.now - queue[0].arrival_s > self.shed_slo.ttft_s
             ):
                 # Already past its TTFT budget in the queue: serving it can
-                # only waste surviving capacity, so shed it.
+                # only waste surviving capacity, so shed it.  Handed-off
+                # requests are exempt: their prefill work is already sunk.
                 request = queue.popleft()
                 request.rejected = True
                 self.rejected += 1
@@ -432,6 +468,30 @@ class ServingEngine:
             if len(self.running) >= cap:
                 break
             request = queue[0]
+            if request.kv_shipped:
+                # Disaggregated arrival: the prompt KV came over the wire,
+                # so the sequence enters decode directly — no prefill
+                # compute, no prefix-cache interaction.
+                if self.allocator is not None:
+                    if not self.allocator.can_admit(
+                        request.request_id, request.prompt_tokens
+                    ):
+                        break
+                    self.allocator.admit(request.request_id, request.prompt_tokens)
+                queue.popleft()
+                request.decode_admitted_s = self.now
+                seq = _Running(request=request, prefill_remaining=0, decoded=1)
+                seq.admit_index = self._admit_counter
+                self._admit_counter += 1
+                if seq.finished:
+                    # Single-token output: the prefill side's first token
+                    # was the whole generation.
+                    self._complete_on_arrival(request)
+                    continue
+                self.running[request.request_id] = seq
+                self._decoding[request.request_id] = seq
+                self.scheduler.on_decode_ready(seq)
+                continue
             cached = 0
             if self.allocator is not None:
                 if not self.allocator.can_admit(
@@ -449,6 +509,9 @@ class ServingEngine:
                 )
             queue.popleft()
             request.admitted_s = self.now
+            if request.handoff_s is not None:
+                # A failed KV ship re-prefilling on the decode side.
+                request.decode_admitted_s = self.now
             request.prefix_hit = cached > 0
             self._insert_running(
                 _Running(
@@ -462,9 +525,28 @@ class ServingEngine:
         """Move a sequence whose prompt just drained into the decode set."""
         request_id = seq.request.request_id
         self._prefilling.pop(request_id, None)
+        if self.handoff_mode:
+            # The first token is out; the rest of the generation belongs
+            # to a decode engine.  KV release is deferred to the end of
+            # the step so this iteration's batched appends still land.
+            self.running.pop(request_id, None)
+            self.handoffs += 1
+            self._handoff_done.append(seq.request)
+            self._handoff_release.append(request_id)
+            return
         self._decoding[request_id] = seq
         if not seq.finished:
             self.scheduler.on_decode_ready(seq)
+
+    def drain_finished(self) -> List[Request]:
+        """Hand over (and clear) the requests whose prefill completed.
+
+        Only meaningful with ``handoff_mode=True``; the caller owns
+        shipping their KV to a decode engine and pricing the transfer.
+        """
+        done = self._handoff_done
+        self._handoff_done = []
+        return done
 
     # ------------------------------------------------------------ main loop
     def step(self, pending: Deque[Request]) -> str:
@@ -486,6 +568,7 @@ class ServingEngine:
         """
         if self._injector is not None:
             self._deliver_faults()
+        handoffs_before = self.handoffs
         self._try_admit(pending)
         if not self.running:
             if not pending and not self._preempted and not self._retry_queue:
@@ -493,7 +576,7 @@ class ServingEngine:
             if pending or self._retry_queue:
                 next_times = []
                 if pending:
-                    next_times.append(pending[0].arrival_s)
+                    next_times.append(_arrival_time(pending[0]))
                 if self._retry_queue:
                     next_times.append(self._retry_queue[0][0])
                 target = min(next_times)
@@ -575,6 +658,18 @@ class ServingEngine:
                 self._safe_append(request_id, 1)
                 if request_id in self.running and not seq.finished:
                     self.scheduler.on_decode_ready(seq)
+        # Release handed-off sequences' local KV (deferred past the
+        # batched appends above; the shipped copy is the decode side's).
+        if self._handoff_release:
+            for request_id in self._handoff_release:
+                if self.allocator is not None:
+                    if self.keep_prefix_on_release and isinstance(
+                        self.allocator, PagedAllocator
+                    ):
+                        self.allocator.release(request_id, keep_for_prefix=True)
+                    else:
+                        self.allocator.release(request_id)
+            self._handoff_release = []
         # Retire finished sequences (they all sit in the decode set).
         finished_ids = [
             rid for rid, seq in self._decoding.items() if seq.finished
@@ -591,6 +686,8 @@ class ServingEngine:
                     self.allocator.release(request_id, keep_for_prefix=True)
                 else:
                     self.allocator.release(request_id)
+        if self.handoffs > handoffs_before:
+            return STEP_HANDOFF  # signal the fleet layer to drain_finished()
         return STEP_RAN
 
     def run(self, requests: Sequence[Request]) -> List[Request]:
